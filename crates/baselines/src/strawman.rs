@@ -1,0 +1,149 @@
+//! Strawman-CIC (paper §5, Figs 9–10, 13).
+//!
+//! The pedagogic variant that intersects only the **first and last**
+//! consecutive sub-symbols, `{r_{1→2}, r_{N→N+1}}`. It cancels all
+//! interferers in principle, but with `N` colliders the expected
+//! time-span of those pieces is `T_s/N`, so its frequency resolution is
+//! `B/N` and nearby peaks merge (paper §5.3). Kept as a baseline to
+//! demonstrate why the optimal ICSS matters.
+
+use cic::demod::CicDemodulator;
+use cic::subsymbol::Boundaries;
+use cic::CicConfig;
+use lora_dsp::{Cf32, Spectrum};
+use lora_phy::params::LoraParams;
+
+/// Symbol demodulator using the strawman ICSS.
+pub struct StrawmanDemodulator {
+    inner: CicDemodulator,
+}
+
+impl StrawmanDemodulator {
+    /// Build a strawman demodulator.
+    pub fn new(params: LoraParams) -> Self {
+        Self {
+            inner: CicDemodulator::new(params, CicConfig::default()),
+        }
+    }
+
+    /// The strawman's intersected spectrum for one de-chirped window.
+    pub fn spectrum(&self, dechirped: &[Cf32], boundaries: &Boundaries) -> Spectrum {
+        self.inner.strawman_spectrum(dechirped, boundaries)
+    }
+
+    /// Demodulate by argmax of the strawman spectrum.
+    pub fn demodulate(&self, dechirped: &[Cf32], boundaries: &Boundaries) -> Option<usize> {
+        self.spectrum(dechirped, boundaries).argmax().map(|(b, _)| b)
+    }
+
+    /// Access the underlying de-chirping demodulator.
+    pub fn inner(&self) -> &lora_phy::Demodulator {
+        self.inner.inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_channel::{superpose, Emission};
+    use lora_phy::chirp::symbol_waveform;
+
+    fn params() -> LoraParams {
+        LoraParams::new(8, 250e3, 4).unwrap()
+    }
+
+    /// Target sends `s1`; each interferer `(prev, next, tau, amp)`.
+    fn collision(
+        p: &LoraParams,
+        s1: usize,
+        interferers: &[(usize, usize, usize, f64)],
+    ) -> (Vec<Cf32>, Boundaries) {
+        let sps = p.samples_per_symbol();
+        let mut emissions = vec![Emission {
+            waveform: symbol_waveform(p, s1),
+            amplitude: 1.0,
+            start_sample: 0,
+            cfo_hz: 0.0,
+        }];
+        let mut taus = Vec::new();
+        for &(prev, next, tau, amp) in interferers {
+            taus.push(tau);
+            let w_prev = symbol_waveform(p, prev);
+            let w_next = symbol_waveform(p, next);
+            emissions.push(Emission {
+                waveform: w_prev[sps - tau..].to_vec(),
+                amplitude: amp,
+                start_sample: 0,
+                cfo_hz: 0.0,
+            });
+            emissions.push(Emission {
+                waveform: w_next[..sps - tau].to_vec(),
+                amplitude: amp,
+                start_sample: tau,
+                cfo_hz: 0.0,
+            });
+        }
+        (superpose(p, sps, &emissions), Boundaries::new(sps, taus))
+    }
+
+    #[test]
+    fn works_with_single_wide_spaced_interferer() {
+        let p = params();
+        let s = StrawmanDemodulator::new(p);
+        let (win, b) = collision(&p, 100, &[(7, 201, 512, 1.0)]);
+        let de = s.inner().dechirp(&win);
+        assert_eq!(s.demodulate(&de, &b), Some(100));
+    }
+
+    #[test]
+    fn resolution_collapses_with_many_interferers() {
+        // Five interferers leave the strawman pieces ~1/6 of a symbol:
+        // resolution B/6. Measure the main-lobe width of the strawman
+        // spectrum around the wanted bin: it must be several bins wide,
+        // while full CIC keeps it narrow.
+        let p = params();
+        let s = StrawmanDemodulator::new(p);
+        let interferers: Vec<(usize, usize, usize, f64)> = vec![
+            (10, 60, 170, 1.0),
+            (90, 140, 340, 1.0),
+            (170, 220, 510, 1.0),
+            (250, 30, 680, 1.0),
+            (70, 120, 850, 1.0),
+        ];
+        let (win, b) = collision(&p, 128, &interferers);
+        let de = s.inner().dechirp(&win);
+        let straw = s.spectrum(&de, &b).normalized();
+        let cic_demod = CicDemodulator::new(p, CicConfig::default());
+        let full = cic_demod.intersected_spectrum(&de, &b).normalized();
+
+        // Width at half max around bin 128 (cyclic walk outward).
+        let width = |spec: &Spectrum| -> usize {
+            let peak = spec[128];
+            let mut w = 1usize;
+            for d in 1..64 {
+                let l = spec[(128 - d) % 256];
+                let r = spec[(128 + d) % 256];
+                if l < peak / 2.0 && r < peak / 2.0 {
+                    break;
+                }
+                w = 2 * d + 1;
+            }
+            w
+        };
+        assert!(
+            width(&straw) >= width(&full),
+            "strawman lobe {} vs CIC {}",
+            width(&straw),
+            width(&full)
+        );
+    }
+
+    #[test]
+    fn no_interferers_degenerates_to_standard() {
+        let p = params();
+        let s = StrawmanDemodulator::new(p);
+        let (win, b) = collision(&p, 42, &[]);
+        let de = s.inner().dechirp(&win);
+        assert_eq!(s.demodulate(&de, &b), Some(42));
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the demodulation pipeline: standard
+//! de-chirp demodulation vs CIC with 1/3/5 interferers, and the SED
+//! tie-break. These quantify the compute cost of the paper's claim that
+//! CIC is practical at gateway/C-RAN scale (§6).
+
+use cic::demod::{CicDemodulator, SymbolContext};
+use cic::subsymbol::Boundaries;
+use cic::CicConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lora_channel::{superpose, Emission};
+use lora_dsp::Cf32;
+use lora_phy::chirp::symbol_waveform;
+use lora_phy::params::LoraParams;
+use std::hint::black_box;
+
+fn collision_window(params: &LoraParams, n_interferers: usize) -> (Vec<Cf32>, Boundaries) {
+    let sps = params.samples_per_symbol();
+    let mut emissions = vec![Emission {
+        waveform: symbol_waveform(params, 77),
+        amplitude: 1.0,
+        start_sample: 0,
+        cfo_hz: 0.0,
+    }];
+    let mut taus = Vec::new();
+    for i in 0..n_interferers {
+        let tau = (i + 1) * sps / (n_interferers + 1);
+        let prev = 30 + 40 * i;
+        let next = 200 - 30 * i;
+        let w_prev = symbol_waveform(params, prev);
+        let w_next = symbol_waveform(params, next);
+        emissions.push(Emission {
+            waveform: w_prev[sps - tau..].to_vec(),
+            amplitude: 1.0,
+            start_sample: 0,
+            cfo_hz: 0.0,
+        });
+        emissions.push(Emission {
+            waveform: w_next[..sps - tau].to_vec(),
+            amplitude: 1.0,
+            start_sample: tau,
+            cfo_hz: 0.0,
+        });
+        taus.push(tau);
+    }
+    (superpose(params, sps, &emissions), Boundaries::new(sps, taus))
+}
+
+fn bench_demod(c: &mut Criterion) {
+    let params = LoraParams::paper_default();
+    let cic = CicDemodulator::new(params, CicConfig::default());
+    let ctx = SymbolContext::default();
+
+    let mut group = c.benchmark_group("symbol_demodulation");
+    let (clean, _) = collision_window(&params, 0);
+    group.bench_function("standard_argmax", |b| {
+        b.iter(|| cic.inner().demodulate_symbol(black_box(&clean)))
+    });
+    for n in [1usize, 3, 5] {
+        let (win, bounds) = collision_window(&params, n);
+        let de = cic.inner().dechirp(&win);
+        group.bench_with_input(BenchmarkId::new("cic", n), &n, |b, _| {
+            b.iter(|| cic.demodulate(black_box(&de), black_box(&bounds), &ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("cic_spectrum_only", n), &n, |b, _| {
+            b.iter(|| cic.intersected_spectrum(black_box(&de), black_box(&bounds)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sed");
+    let (win, _) = collision_window(&params, 2);
+    let de = cic.inner().dechirp(&win);
+    group.bench_function("edge_spectra_10_windows", |b| {
+        b.iter(|| cic::sed::EdgeSpectra::compute(cic.inner(), black_box(&de), 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_demod);
+criterion_main!(benches);

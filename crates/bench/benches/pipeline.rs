@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the stream-level pipeline: preamble scanning
+//! throughput (samples/second a gateway core can monitor) and full packet
+//! decode latency under collision.
+
+use cic::{CicConfig, CicReceiver};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lora_channel::{add_unit_noise, amplitude_for_snr, superpose, Emission};
+use lora_phy::packet::Transceiver;
+use lora_phy::params::{CodeRate, LoraParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn two_packet_capture(params: &LoraParams) -> Vec<lora_dsp::Cf32> {
+    let tx = Transceiver::new(*params, CodeRate::Cr45);
+    let sps = params.samples_per_symbol();
+    let w1 = tx.waveform(&[1; 16]);
+    let w2 = tx.waveform(&[2; 16]);
+    let a = amplitude_for_snr(20.0, params.oversampling());
+    let s2 = 14 * sps + 400;
+    let mut cap = superpose(
+        params,
+        s2 + w2.len() + 2048,
+        &[
+            Emission {
+                waveform: w1,
+                amplitude: a,
+                start_sample: 0,
+                cfo_hz: 900.0,
+            },
+            Emission {
+                waveform: w2,
+                amplitude: a,
+                start_sample: s2,
+                cfo_hz: -1100.0,
+            },
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    add_unit_noise(&mut rng, &mut cap);
+    cap
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let params = LoraParams::paper_default();
+    let cap = two_packet_capture(&params);
+    let rx = CicReceiver::new(params, CodeRate::Cr45, 16, CicConfig::default());
+
+    let mut group = c.benchmark_group("receiver");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cap.len() as u64));
+    group.bench_function("preamble_scan", |b| {
+        b.iter(|| rx.detect(black_box(&cap)))
+    });
+    group.bench_function("full_receive_2pkt_collision", |b| {
+        b.iter(|| rx.receive(black_box(&cap)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("phy");
+    let tx = Transceiver::new(params, CodeRate::Cr45);
+    group.bench_function("encode_28B", |b| b.iter(|| tx.encode(black_box(&[7u8; 28]))));
+    group.bench_function("waveform_28B", |b| {
+        b.iter(|| tx.waveform(black_box(&[7u8; 28])))
+    });
+    let symbols = tx.encode(&[7u8; 28]).symbols;
+    group.bench_function("decode_28B", |b| {
+        b.iter(|| tx.decode(black_box(&symbols), 28).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

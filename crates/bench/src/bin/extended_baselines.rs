@@ -1,0 +1,40 @@
+//! Extended comparison beyond the paper's plots: all six implemented
+//! receivers — CIC, FTrack, Choir, mLoRa (SIC), CoLoRa, standard LoRa —
+//! on the same captures. The paper's §2 discusses mLoRa and CoLoRa but
+//! does not include them in Figs 28-31; this harness fills that gap.
+
+use lora_channel::DeploymentKind;
+use lora_sim::figures::capacity_sweep;
+use lora_sim::report::{capacity_table, detection_table};
+use lora_sim::Scheme;
+
+fn main() {
+    let cli = repro_bench::parse_cli();
+    repro_bench::banner("extended", "all six receivers, capacity + detection");
+    println!(
+        "duration {}s per rate point, seed {}\n",
+        cli.scale.duration_s, cli.scale.seed
+    );
+    let mut all_rows = Vec::new();
+    for kind in [DeploymentKind::D1IndoorLos, DeploymentKind::D4OutdoorSubnoise] {
+        let rows = capacity_sweep(kind, &Scheme::EXTENDED_SET, &cli.scale);
+        println!(
+            "{}",
+            capacity_table(
+                &format!("{} ({}) — decoded pkt/s", kind.label(), kind.description()),
+                &rows
+            )
+        );
+        println!(
+            "{}",
+            detection_table(
+                &format!("{} — packet detection rate", kind.label()),
+                &rows
+            )
+        );
+        all_rows.extend(rows);
+    }
+    if cli.json {
+        println!("{}", lora_sim::report::to_json(&all_rows));
+    }
+}

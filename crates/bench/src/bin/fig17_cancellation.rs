@@ -1,0 +1,32 @@
+//! E3 / paper Fig 17 — extent of CIC cancellation as a function of the
+//! interferer's time proximity (Δτ/Ts) and frequency proximity (Δf/B).
+//!
+//! Paper shape: ≈0 dB at the origin, ≥5 dB by (0.1, 0.1), ~20 dB at
+//! (0.5, 0.5).
+
+use lora_phy::LoraParams;
+use lora_sim::figures::fig17_cancellation;
+
+fn main() {
+    repro_bench::banner("Fig 17", "cancellation depth vs (dtau/Ts, df/B)");
+    let params = LoraParams::paper_default();
+    let grid = [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let cells = fig17_cancellation(&params, &grid);
+
+    print!("{:>9}", "dt\\df");
+    for &df in &grid {
+        print!("{df:>8.2}");
+    }
+    println!();
+    for &dt in &grid {
+        print!("{dt:>9.2}");
+        for &df in &grid {
+            let c = cells
+                .iter()
+                .find(|c| c.dtau_frac == dt && c.df_frac == df)
+                .unwrap();
+            print!("{:>7.1}dB", c.cancellation_db.max(0.0));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! E4 / paper Figs 19–20 — preamble detection clutter: conventional
+//! up-chirp correlation vs CIC's down-chirp correlation, measured as the
+//! number of spurious spectral peaks while 5 transmissions are ongoing.
+
+use lora_channel::{amplitude_for_snr, superpose, Emission};
+use lora_phy::modulate::FrameLayout;
+use lora_phy::{CodeRate, Demodulator, LoraParams, Transceiver};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    repro_bench::banner("Figs 19-20", "up-chirp vs down-chirp preamble detection clutter");
+    let params = LoraParams::paper_default();
+    let tx = Transceiver::new(params, CodeRate::Cr45);
+    let sps = params.samples_per_symbol();
+    let layout = FrameLayout::new(&params);
+    let demod = Demodulator::new(params);
+
+    println!(
+        "\n{:>6} {:>14} {:>14}",
+        "trial", "upchirp peaks", "downchirp peaks"
+    );
+    let mut up_total = 0usize;
+    let mut down_total = 0usize;
+    let trials = 10;
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(100 + trial as u64);
+        let mut emissions = Vec::new();
+        for _ in 0..5 {
+            let payload: Vec<u8> = (0..28).map(|_| rng.random()).collect();
+            emissions.push(Emission {
+                waveform: tx.waveform(&payload),
+                amplitude: amplitude_for_snr(rng.random_range(15.0..30.0), params.oversampling()),
+                start_sample: rng.random_range(0..4 * sps),
+                cfo_hz: rng.random_range(-3000.0..3000.0),
+            });
+        }
+        let new_start = 20 * sps + rng.random_range(0..sps);
+        let payload: Vec<u8> = (0..28).map(|_| rng.random()).collect();
+        emissions.push(Emission {
+            waveform: tx.waveform(&payload),
+            amplitude: amplitude_for_snr(25.0, params.oversampling()),
+            start_sample: new_start,
+            cfo_hz: rng.random_range(-3000.0..3000.0),
+        });
+        let cap = superpose(
+            &params,
+            emissions
+                .iter()
+                .map(|e| e.start_sample + e.waveform.len())
+                .max()
+                .unwrap(),
+            &emissions,
+        );
+
+        let w_up = &cap[new_start + sps..new_start + 2 * sps];
+        let dc = new_start + layout.downchirp_start;
+        let w_down = &cap[dc..dc + sps];
+        let up = lora_dsp::find_peaks(&demod.folded_spectrum(&demod.dechirp(w_up)), 8.0, 2).len();
+        let down =
+            lora_dsp::find_peaks(&demod.folded_spectrum(&demod.updechirp(w_down)), 8.0, 2).len();
+        println!("{trial:>6} {up:>14} {down:>14}");
+        up_total += up;
+        down_total += down;
+    }
+    println!(
+        "\nmean peaks per window: up-chirp {:.1}, down-chirp {:.1}",
+        up_total as f64 / trials as f64,
+        down_total as f64 / trials as f64
+    );
+    println!("paper shape: down-chirp correlation clears the clutter (Fig 20 vs Fig 19).");
+}

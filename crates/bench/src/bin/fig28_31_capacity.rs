@@ -1,0 +1,42 @@
+//! E6 / paper Figs 28–31 — network capacity (correctly decoded packets
+//! per second) vs offered load for each deployment D1–D4, comparing CIC,
+//! FTrack, Choir and standard LoRa on the same captures.
+//!
+//! Expected shape (paper §7.2): CIC ≫ FTrack > Choir/LoRa everywhere;
+//! FTrack degrades at high load and collapses at low SNR; in D4 CIC is
+//! ~10x standard LoRa.
+
+use lora_channel::DeploymentKind;
+use lora_sim::figures::capacity_sweep;
+use lora_sim::report::capacity_table;
+use lora_sim::Scheme;
+
+fn main() {
+    let cli = repro_bench::parse_cli();
+    repro_bench::banner("Figs 28-31", "network capacity vs offered load");
+    println!(
+        "duration {}s per rate point, seed {}\n",
+        cli.scale.duration_s, cli.scale.seed
+    );
+    let mut all_rows = Vec::new();
+    for kind in DeploymentKind::ALL {
+        let rows = capacity_sweep(kind, &Scheme::CAPACITY_SET, &cli.scale);
+        let fig = match kind.label() {
+            "D1" => "Fig 28",
+            "D2" => "Fig 29",
+            "D3" => "Fig 30",
+            _ => "Fig 31",
+        };
+        println!(
+            "{}",
+            capacity_table(
+                &format!("{fig} — {} ({}) — decoded pkt/s", kind.label(), kind.description()),
+                &rows
+            )
+        );
+        all_rows.extend(rows);
+    }
+    if cli.json {
+        println!("{}", lora_sim::report::to_json(&all_rows));
+    }
+}

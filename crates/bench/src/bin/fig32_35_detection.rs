@@ -1,0 +1,49 @@
+//! E7 / paper Figs 32–35 — packet (preamble) detection rate vs offered
+//! load for each deployment, comparing CIC's down-chirp detection with
+//! FTrack's and standard LoRa's up-chirp detection.
+//!
+//! Expected shape (paper §7.3): CIC ≥ FTrack + ~20 pp in D1/D2; FTrack
+//! falls below standard LoRa in D3 at high load; in D4 FTrack ≈ 0,
+//! LoRa ~5 %, CIC 50–80 %.
+
+use lora_channel::DeploymentKind;
+use lora_sim::figures::capacity_sweep;
+use lora_sim::report::detection_table;
+use lora_sim::Scheme;
+
+fn main() {
+    let cli = repro_bench::parse_cli();
+    repro_bench::banner("Figs 32-35", "packet detection rate vs offered load");
+    println!(
+        "duration {}s per rate point, seed {}\n",
+        cli.scale.duration_s, cli.scale.seed
+    );
+    // Choir has no packet-detection scheme of its own (paper §7.3); the
+    // comparison is CIC vs FTrack vs standard LoRa.
+    let schemes = [Scheme::Cic, Scheme::Ftrack, Scheme::Standard];
+    let mut all_rows = Vec::new();
+    for kind in DeploymentKind::ALL {
+        let rows = capacity_sweep(kind, &schemes, &cli.scale);
+        let fig = match kind.label() {
+            "D1" => "Fig 32",
+            "D2" => "Fig 33",
+            "D3" => "Fig 34",
+            _ => "Fig 35",
+        };
+        println!(
+            "{}",
+            detection_table(
+                &format!(
+                    "{fig} — {} ({}) — packet detection rate",
+                    kind.label(),
+                    kind.description()
+                ),
+                &rows
+            )
+        );
+        all_rows.extend(rows);
+    }
+    if cli.json {
+        println!("{}", lora_sim::report::to_json(&all_rows));
+    }
+}

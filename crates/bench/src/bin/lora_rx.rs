@@ -1,0 +1,191 @@
+//! `lora_rx` — decode LoRa packets (including collisions) from a raw IQ
+//! capture file, the way you would point gr-lora or a USRP recording at a
+//! decoder.
+//!
+//! Input format: interleaved 32-bit little-endian floats, `I,Q,I,Q,…`
+//! (the common `.cf32` / GNU Radio file-sink format).
+//!
+//! ```sh
+//! lora_rx --file capture.cf32 --sf 8 --bw 250000 --os 4 \
+//!         --payload-len 28 [--cr 5..8] [--scheme cic|lora|ftrack|choir|mlora|colora]
+//! ```
+//!
+//! Try it on a synthetic capture:
+//!
+//! ```sh
+//! cargo run --release -p repro-bench --bin lora_rx -- --selftest
+//! ```
+
+use lora_baselines::CollisionReceiver;
+use lora_dsp::Cf32;
+use lora_phy::params::{CodeRate, LoraParams};
+use lora_sim::Scheme;
+use std::io::Read;
+
+struct Args {
+    file: Option<String>,
+    sf: u8,
+    bw: f64,
+    os: usize,
+    cr: CodeRate,
+    payload_len: usize,
+    scheme: Scheme,
+    selftest: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        file: None,
+        sf: 8,
+        bw: 250e3,
+        os: 4,
+        cr: CodeRate::Cr45,
+        payload_len: 28,
+        scheme: Scheme::Cic,
+        selftest: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage("missing value"));
+        match flag.as_str() {
+            "--file" => a.file = Some(val()),
+            "--sf" => a.sf = val().parse().unwrap_or_else(|_| usage("bad --sf")),
+            "--bw" => a.bw = val().parse().unwrap_or_else(|_| usage("bad --bw")),
+            "--os" => a.os = val().parse().unwrap_or_else(|_| usage("bad --os")),
+            "--payload-len" => {
+                a.payload_len = val().parse().unwrap_or_else(|_| usage("bad --payload-len"))
+            }
+            "--cr" => {
+                a.cr = match val().as_str() {
+                    "5" => CodeRate::Cr45,
+                    "6" => CodeRate::Cr46,
+                    "7" => CodeRate::Cr47,
+                    "8" => CodeRate::Cr48,
+                    _ => usage("--cr takes 5..8 (denominator of 4/x)"),
+                }
+            }
+            "--scheme" => {
+                a.scheme = match val().as_str() {
+                    "cic" => Scheme::Cic,
+                    "lora" => Scheme::Standard,
+                    "ftrack" => Scheme::Ftrack,
+                    "choir" => Scheme::Choir,
+                    "mlora" => Scheme::MLora,
+                    "colora" => Scheme::Colora,
+                    other => usage(&format!("unknown scheme {other}")),
+                }
+            }
+            "--selftest" => a.selftest = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    a
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lora_rx --file <capture.cf32> [--sf 7..12] [--bw hz] [--os n]\n\
+         \t[--payload-len bytes] [--cr 5..8] [--scheme cic|lora|ftrack|choir|mlora|colora]\n\
+         \t| --selftest"
+    );
+    std::process::exit(2)
+}
+
+fn read_cf32(path: &str) -> Vec<Cf32> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .unwrap_or_else(|e| usage(&format!("open {path}: {e}")))
+        .read_to_end(&mut bytes)
+        .unwrap_or_else(|e| usage(&format!("read {path}: {e}")));
+    if bytes.len() % 8 != 0 {
+        eprintln!("warning: file length is not a whole number of I/Q pairs; truncating");
+    }
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            Cf32::new(
+                f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            )
+        })
+        .collect()
+}
+
+fn selftest(a: &Args) -> Vec<Cf32> {
+    use lora_channel::{add_unit_noise, amplitude_for_snr, superpose, Emission};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let params = LoraParams::new(a.sf, a.bw, a.os).expect("params");
+    let tx = lora_phy::Transceiver::new(params, a.cr);
+    let sps = params.samples_per_symbol();
+    let p1: Vec<u8> = (0..a.payload_len as u8).collect();
+    let p2: Vec<u8> = (0..a.payload_len as u8).map(|b| b ^ 0x5A).collect();
+    let w2 = tx.waveform(&p2);
+    let s2 = 15 * sps + 333;
+    let mut cap = superpose(
+        &params,
+        s2 + w2.len() + 4096,
+        &[
+            Emission {
+                waveform: tx.waveform(&p1),
+                amplitude: amplitude_for_snr(20.0, a.os),
+                start_sample: 2048,
+                cfo_hz: 900.0,
+            },
+            Emission {
+                waveform: w2,
+                amplitude: amplitude_for_snr(18.0, a.os),
+                start_sample: 2048 + s2,
+                cfo_hz: -1400.0,
+            },
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(4242);
+    add_unit_noise(&mut rng, &mut cap);
+    println!("selftest: two colliding packets at 2048 and {}", 2048 + s2);
+    cap
+}
+
+fn main() {
+    let a = parse_args();
+    let capture = if a.selftest {
+        selftest(&a)
+    } else {
+        match &a.file {
+            Some(f) => read_cf32(f),
+            None => usage("need --file or --selftest"),
+        }
+    };
+    let params = LoraParams::new(a.sf, a.bw, a.os).unwrap_or_else(|e| usage(&e.to_string()));
+    println!(
+        "{} samples @ {:.0} Hz (SF{}, {:.0} kHz, {}x os), scheme {}",
+        capture.len(),
+        params.sample_rate_hz(),
+        a.sf,
+        a.bw / 1e3,
+        a.os,
+        a.scheme.label()
+    );
+
+    let rx = a.scheme.build(params, a.cr, a.payload_len);
+    let packets = rx.receive(&capture);
+    if packets.is_empty() {
+        println!("no packets detected");
+        return;
+    }
+    for (i, pkt) in packets.iter().enumerate() {
+        let t_ms = pkt.frame_start as f64 / params.sample_rate_hz() * 1e3;
+        match &pkt.payload {
+            Some(bytes) => {
+                let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+                println!("#{i}: t={t_ms:9.3} ms  sample {:>9}  OK   {hex}", pkt.frame_start);
+            }
+            None => println!(
+                "#{i}: t={t_ms:9.3} ms  sample {:>9}  CRC/FEC failed",
+                pkt.frame_start
+            ),
+        }
+    }
+    let ok = packets.iter().filter(|p| p.ok()).count();
+    println!("{ok}/{} packets decoded", packets.len());
+}

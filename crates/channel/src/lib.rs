@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Wireless channel substrate: what sits between the 20 COTS transmitters
+//! and the USRP front end in the paper's deployments.
+//!
+//! * [`rng`] — seeded Gaussian / exponential / uniform variates;
+//! * [`awgn`] — noise injection and the in-band SNR ↔ amplitude convention;
+//! * [`pathloss`] — log-distance path loss with shadowing and fading;
+//! * [`deployment`] — the four deployments D1–D4 with Fig 27's SNR bands;
+//! * [`traffic`] — Poisson packet arrivals (exponential inter-arrival);
+//! * [`mix`] — sample-accurate superposition of colliding transmissions
+//!   with per-transmitter amplitude, timing offset and CFO (paper Eqn 5).
+
+pub mod awgn;
+pub mod deployment;
+pub mod mix;
+pub mod pathloss;
+pub mod rng;
+pub mod traffic;
+
+pub use awgn::{add_noise, add_unit_noise, amplitude_for_snr, snr_db_for_amplitude};
+pub use deployment::{Deployment, DeploymentKind, Node, PAPER_NODE_COUNT};
+pub use mix::{superpose, superpose_drifting_into, superpose_into, DriftingEmission, Emission};
+pub use pathloss::PathLossModel;
+pub use traffic::{poisson_schedule, Arrival};

@@ -1,0 +1,473 @@
+//! The CIC symbol demodulator (paper §5.4, Eqn 12).
+//!
+//! Given one de-chirped symbol window and the boundary offsets of all
+//! interfering transmissions within it, the demodulator:
+//!
+//! 1. builds the optimal ICSS and intersects the unit-energy-normalised
+//!    spectra of its sub-symbols ([`crate::icss`], [`lora_dsp::intersect`]);
+//! 2. extracts candidate peaks from the intersected spectrum;
+//! 3. filters candidates by fractional CFO and received power when the
+//!    preamble provided estimates (paper §5.7, [`crate::filters`]);
+//! 4. breaks remaining ties with the Spectral Edge Difference
+//!    (paper §5.6, [`crate::sed`]).
+
+use lora_dsp::{intersect, peaks, Cf32, Spectrum};
+use lora_phy::Demodulator;
+
+use crate::config::CicConfig;
+use crate::filters::{cfo_filter, power_filter, Candidate};
+use crate::icss::optimal_icss;
+use crate::sed::EdgeSpectra;
+use crate::subsymbol::Boundaries;
+
+/// Per-transmission context carried from preamble detection into symbol
+/// demodulation (paper §5.7–5.8).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolContext {
+    /// Expected fractional CFO in bins (`[-0.5, 0.5)`), if estimated.
+    pub frac_cfo_bins: Option<f64>,
+    /// Expected full-window peak power from the preamble, if estimated.
+    pub expected_peak_power: Option<f64>,
+    /// Predicted tone positions (fractional bins) of interferers whose
+    /// *preamble* overlaps this window (see
+    /// [`crate::tracker::Tracker::known_preamble_bins`]). A preamble tone
+    /// is continuous across the interferer's symbol boundaries, so
+    /// sub-symbol cancellation cannot remove it — but its position is
+    /// known and candidates there are excluded.
+    pub known_interferer_bins: Vec<f64>,
+}
+
+/// How the final symbol value was selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// The intersected spectrum had a single surviving candidate.
+    Unique,
+    /// Feature filters (CFO/power) reduced the set to one.
+    Filtered,
+    /// The Spectral Edge Difference broke a tie.
+    Sed,
+    /// Tie remained; the strongest candidate was taken.
+    Strongest,
+    /// No candidate exceeded the threshold; argmax fallback.
+    Fallback,
+}
+
+/// Result of demodulating one symbol window.
+#[derive(Debug, Clone)]
+pub struct SymbolDecision {
+    /// Chosen symbol value (FFT bin).
+    pub value: usize,
+    /// How it was chosen.
+    pub selection: Selection,
+    /// All candidates that survived peak extraction, strongest first.
+    pub candidates: Vec<Candidate>,
+}
+
+/// The CIC demodulator for one parameter set.
+pub struct CicDemodulator {
+    demod: Demodulator,
+    config: CicConfig,
+}
+
+impl CicDemodulator {
+    /// Build a demodulator.
+    pub fn new(params: lora_phy::LoraParams, config: CicConfig) -> Self {
+        Self {
+            demod: Demodulator::new(params),
+            config,
+        }
+    }
+
+    /// The underlying de-chirping demodulator.
+    pub fn inner(&self) -> &Demodulator {
+        &self.demod
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &CicConfig {
+        &self.config
+    }
+
+    /// Compute `Φ_CIC` (Eqn 12): the spectral intersection over the
+    /// optimal ICSS of an already de-chirped window.
+    pub fn intersected_spectrum(&self, dechirped: &[Cf32], boundaries: &Boundaries) -> Spectrum {
+        let icss = optimal_icss(boundaries, self.config.min_subsymbol_samples);
+        let spectra: Vec<Spectrum> = icss
+            .iter()
+            .map(|r| self.demod.folded_spectrum_range(dechirped, *r))
+            .collect();
+        intersect::intersect_normalized(&spectra)
+            .unwrap_or_else(|| Spectrum::from_power(vec![0.0; self.demod.params().n_bins()]))
+    }
+
+    /// The Strawman-CIC spectrum (paper Fig 9/13): intersection of only
+    /// the first and last consecutive sub-symbols. Kept public for the
+    /// baseline comparison and the Fig 13 harness.
+    pub fn strawman_spectrum(&self, dechirped: &[Cf32], boundaries: &Boundaries) -> Spectrum {
+        let spectra: Vec<Spectrum> = boundaries
+            .strawman_icss()
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| self.demod.folded_spectrum_range(dechirped, *r))
+            .collect();
+        intersect::intersect_normalized(&spectra)
+            .unwrap_or_else(|| Spectrum::from_power(vec![0.0; self.demod.params().n_bins()]))
+    }
+
+    /// Demodulate one de-chirped window.
+    ///
+    /// `dechirped` must already be CFO-derotated to the target
+    /// transmission (the receiver does this with the preamble estimate),
+    /// so the wanted peak sits on an integer bin plus the residual
+    /// fractional CFO.
+    pub fn demodulate(
+        &self,
+        dechirped: &[Cf32],
+        boundaries: &Boundaries,
+        ctx: &SymbolContext,
+    ) -> SymbolDecision {
+        let cic_spec = self.intersected_spectrum(dechirped, boundaries);
+        // The full-window spectrum provides unnormalised power for the
+        // power filter; the amplitude-folded variant provides unbiased
+        // fractional positions (power-folding skews the sinc-ratio
+        // estimator for band-edge-split symbols).
+        let full_spec = self.demod.folded_spectrum(dechirped);
+        let full_amp = self.demod.folded_amplitude_spectrum(dechirped);
+
+        let peaks_found = peaks::find_peaks(
+            &cic_spec,
+            self.config.peak_threshold,
+            self.config.peak_min_separation,
+        );
+        let mut candidates: Vec<Candidate> = peaks_found
+            .iter()
+            .take(self.config.max_candidates)
+            .map(|p| {
+                let n = full_spec.len() as f64;
+                let amp_pos = peaks::refine_sinc_amp(&full_amp, p.bin);
+                let mut frac_part = amp_pos - p.bin as f64;
+                if frac_part > 0.5 {
+                    frac_part -= n;
+                } else if frac_part < -0.5 {
+                    frac_part += n;
+                }
+                // Lobe energy over bin ± 1: a peak split by a fractional
+                // frequency offset must be credited with its full power,
+                // or its weak alias bin slips through the power filter.
+                let nb = full_spec.len();
+                let lobe = full_spec[p.bin]
+                    + full_spec[(p.bin + 1) % nb]
+                    + full_spec[(p.bin + nb - 1) % nb];
+                // Snap the decision value with the full-window fractional
+                // position (the full window has the cleanest sinc shape
+                // for the wanted tone): partial cancellation can skew the
+                // intersected spectrum's argmax by one bin. A fraction at
+                // the ±0.5 clamp means the neighbour outweighed the peak —
+                // usually an adjacent interferer, not a real offset — so
+                // the interference-cancelled argmax is kept instead.
+                // Final decision value: re-argmax over the candidate's
+                // immediate neighbourhood in the amplitude-folded full
+                // spectrum. The intersected spectrum's apex shape is
+                // dominated by its lowest-resolution member and wanders
+                // ±1 bin under dense overlap; the full window has the
+                // sharpest apex for a tone that is really there.
+                let refined_bin = [(p.bin + nb - 1) % nb, p.bin, (p.bin + 1) % nb]
+                    .into_iter()
+                    .max_by(|&a, &b| full_amp[a].total_cmp(&full_amp[b]))
+                    .unwrap();
+                Candidate {
+                    bin: p.bin,
+                    refined_bin,
+                    intersected_power: p.power,
+                    full_power: lobe,
+                    frac_offset_bins: frac_part,
+                }
+            })
+            .collect();
+
+        // Exclude candidates sitting on a *known* interferer tone
+        // (preamble or previously-decoded data), unless that empties the
+        // set (the wanted symbol can legitimately coincide with one).
+        if !ctx.known_interferer_bins.is_empty() {
+            let n = self.demod.params().n_bins() as f64;
+            let kept: Vec<Candidate> = candidates
+                .iter()
+                .filter(|c| {
+                    let pos = c.bin as f64 + c.frac_offset_bins;
+                    !ctx.known_interferer_bins
+                        .iter()
+                        .any(|&k| lora_dsp::math::cyclic_distance(pos, k, n).abs() <= 1.0)
+                })
+                .copied()
+                .collect();
+            if !kept.is_empty() {
+                candidates = kept;
+            }
+        }
+
+        // Relative floor, applied *after* known-tone exclusion so that an
+        // uncancellable (but known and excluded) strong tone does not set
+        // the bar: sidelobes and intersection residue sit well below the
+        // strongest genuine candidate, real contenders within a few dB.
+        let strongest = candidates
+            .iter()
+            .map(|c| c.intersected_power)
+            .fold(0.0f64, f64::max);
+        let rel_floor =
+            strongest / lora_dsp::math::from_db(self.config.candidate_max_below_peak_db);
+        candidates.retain(|c| c.intersected_power >= rel_floor);
+
+        if candidates.is_empty() {
+            // Nothing above threshold: fall back to the argmax of the
+            // intersected spectrum (better than dropping the symbol — the
+            // decoder's FEC/CRC arbitrates).
+            let value = cic_spec.argmax().map(|(b, _)| b).unwrap_or(0);
+            return SymbolDecision {
+                value,
+                selection: Selection::Fallback,
+                candidates: Vec::new(),
+            };
+        }
+        if candidates.len() == 1 {
+            return SymbolDecision {
+                value: candidates[0].refined_bin,
+                selection: Selection::Unique,
+                candidates,
+            };
+        }
+
+        // Feature filters (paper §5.7): a candidate should be consistent
+        // with every enabled feature, so the primary verdict is the
+        // intersection of both filters. When they conflict (intersection
+        // empty), prefer the power filter alone: the lobe-power
+        // measurement is robust, while the fractional-CFO measurement is
+        // easily corrupted by a peak on an adjacent bin. CFO-only and
+        // finally the unfiltered set are the remaining fallbacks.
+        let kept_cfo: Option<Vec<Candidate>> = match (self.config.use_cfo_filter, ctx.frac_cfo_bins)
+        {
+            (true, Some(expect)) => Some(cfo_filter(
+                &candidates,
+                expect,
+                self.config.cfo_filter_max_bins,
+            )),
+            _ => None,
+        };
+        let kept_pow: Option<Vec<Candidate>> =
+            match (self.config.use_power_filter, ctx.expected_peak_power) {
+                (true, Some(expect)) => Some(power_filter(
+                    &candidates,
+                    expect,
+                    self.config.power_filter_max_db,
+                )),
+                _ => None,
+            };
+        let both: Option<Vec<Candidate>> = match (&kept_cfo, &kept_pow) {
+            (Some(c), Some(p)) => Some(
+                c.iter()
+                    .filter(|x| p.iter().any(|y| y.bin == x.bin))
+                    .copied()
+                    .collect(),
+            ),
+            (Some(c), None) => Some(c.clone()),
+            (None, Some(p)) => Some(p.clone()),
+            (None, None) => None,
+        };
+        let mut filtered: Vec<Candidate> = [both, kept_pow, kept_cfo]
+            .into_iter()
+            .flatten()
+            .find(|set| !set.is_empty())
+            .unwrap_or_else(|| candidates.clone());
+        if filtered.len() == 1 {
+            return SymbolDecision {
+                value: filtered[0].refined_bin,
+                selection: Selection::Filtered,
+                candidates,
+            };
+        }
+
+        if self.config.use_sed {
+            let edges = EdgeSpectra::compute(&self.demod, dechirped, self.config.sed_windows);
+            let bins: Vec<usize> = filtered.iter().map(|c| c.bin).collect();
+            if let Some(best) = edges.best_candidate(&bins) {
+                let value = filtered
+                    .iter()
+                    .find(|c| c.bin == best)
+                    .map(|c| c.refined_bin)
+                    .unwrap_or(best);
+                return SymbolDecision {
+                    value,
+                    selection: Selection::Sed,
+                    candidates,
+                };
+            }
+        }
+
+        // Last resort: strongest surviving candidate.
+        filtered.sort_by(|a, b| b.intersected_power.total_cmp(&a.intersected_power));
+        candidates.sort_by(|a, b| b.intersected_power.total_cmp(&a.intersected_power));
+        SymbolDecision {
+            value: filtered[0].refined_bin,
+            selection: Selection::Strongest,
+            candidates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_channel::{superpose, Emission};
+    use lora_phy::chirp::symbol_waveform;
+    use lora_phy::params::LoraParams;
+
+    fn params() -> LoraParams {
+        LoraParams::new(8, 250e3, 4).unwrap()
+    }
+
+    fn cic() -> CicDemodulator {
+        CicDemodulator::new(params(), CicConfig::default())
+    }
+
+    /// Build a window where the target sends `s1` and each interferer `j`
+    /// transitions `prev_j -> next_j` at boundary `tau_j`, amplitude `a_j`.
+    fn collision(
+        p: &LoraParams,
+        s1: usize,
+        interferers: &[(usize, usize, usize, f64)],
+    ) -> (Vec<Cf32>, Boundaries) {
+        let sps = p.samples_per_symbol();
+        let mut emissions = vec![Emission {
+            waveform: symbol_waveform(p, s1),
+            amplitude: 1.0,
+            start_sample: 0,
+            cfo_hz: 0.0,
+        }];
+        let mut taus = Vec::new();
+        for &(prev, next, tau, amp) in interferers {
+            assert!(tau > 0 && tau < sps);
+            taus.push(tau);
+            let w_prev = symbol_waveform(p, prev);
+            let w_next = symbol_waveform(p, next);
+            emissions.push(Emission {
+                waveform: w_prev[sps - tau..].to_vec(),
+                amplitude: amp,
+                start_sample: 0,
+                cfo_hz: 0.0,
+            });
+            emissions.push(Emission {
+                waveform: w_next[..sps - tau].to_vec(),
+                amplitude: amp,
+                start_sample: tau,
+                cfo_hz: 0.0,
+            });
+        }
+        (
+            superpose(p, sps, &[emissions, vec![]].concat()),
+            Boundaries::new(sps, taus),
+        )
+    }
+
+    #[test]
+    fn clean_symbol_no_interferers() {
+        let p = params();
+        let c = cic();
+        let (win, b) = collision(&p, 123, &[]);
+        let d = c.demodulate(&c.inner().dechirp(&win), &b, &SymbolContext::default());
+        assert_eq!(d.value, 123);
+    }
+
+    #[test]
+    fn cancels_single_equal_power_interferer() {
+        let p = params();
+        let c = cic();
+        let (win, b) = collision(&p, 77, &[(10, 210, 400, 1.0)]);
+        let de = c.inner().dechirp(&win);
+        let d = c.demodulate(&de, &b, &SymbolContext::default());
+        assert_eq!(d.value, 77, "selection {:?}", d.selection);
+    }
+
+    #[test]
+    fn cancels_stronger_interferer() {
+        // The interferer is 6 dB stronger: standard demodulation picks the
+        // wrong peak, CIC must not.
+        let p = params();
+        let c = cic();
+        let (win, b) = collision(&p, 77, &[(10, 210, 400, 2.0)]);
+        let de = c.inner().dechirp(&win);
+        let std_value = c.inner().folded_spectrum(&de).argmax().unwrap().0;
+        assert_ne!(std_value, 77, "interferer should dominate standard demod");
+        let d = c.demodulate(&de, &b, &SymbolContext::default());
+        assert_eq!(d.value, 77, "selection {:?}", d.selection);
+    }
+
+    #[test]
+    fn cancels_three_interferers() {
+        let p = params();
+        let c = cic();
+        let (win, b) = collision(
+            &p,
+            150,
+            &[
+                (5, 99, 200, 1.5),
+                (30, 222, 520, 1.2),
+                (180, 64, 850, 0.8),
+            ],
+        );
+        let de = c.inner().dechirp(&win);
+        let d = c.demodulate(&de, &b, &SymbolContext::default());
+        assert_eq!(d.value, 150, "selection {:?}", d.selection);
+    }
+
+    #[test]
+    fn intersected_spectrum_suppresses_interferer_bins() {
+        let p = params();
+        let c = cic();
+        let tau = 400usize;
+        let (win, b) = collision(&p, 77, &[(10, 210, tau, 1.0)]);
+        let de = c.inner().dechirp(&win);
+        let cic_spec = c.intersected_spectrum(&de, &b).normalized();
+        let n = p.n_bins();
+        let shift = (n - (tau / p.oversampling()) % n) % n;
+        let prev_bin = (10 + shift) % n;
+        let next_bin = (210 + shift) % n;
+        // Interferer energy must drop well below the wanted peak.
+        assert!(cic_spec[77] > 10.0 * cic_spec[prev_bin]);
+        assert!(cic_spec[77] > 10.0 * cic_spec[next_bin]);
+    }
+
+    #[test]
+    fn strawman_weaker_than_cic_near_boundary_edges() {
+        // With boundaries close to the window edges, the strawman's two
+        // pieces are small and resolution collapses (paper §5.3); optimal
+        // CIC keeps the wanted bin dominant. Boundaries sit at 12.5% from
+        // each edge — outside the <10% regime where even CIC degrades
+        // (paper Fig 38).
+        let p = params();
+        let c = cic();
+        let (win, b) = collision(&p, 60, &[(140, 33, 128, 1.0), (200, 90, 896, 1.0)]);
+        let de = c.inner().dechirp(&win);
+        let cic_spec = c.intersected_spectrum(&de, &b);
+        assert_eq!(cic_spec.argmax().unwrap().0, 60);
+    }
+
+    #[test]
+    fn fallback_when_spectrum_flat() {
+        let c = cic();
+        let zeros = vec![Cf32::new(0.0, 0.0); 1024];
+        let b = Boundaries::new(1024, vec![]);
+        let d = c.demodulate(&zeros, &b, &SymbolContext::default());
+        assert_eq!(d.selection, Selection::Fallback);
+    }
+
+    #[test]
+    fn decision_reports_candidates_strongest_first() {
+        let p = params();
+        let c = cic();
+        let (win, b) = collision(&p, 42, &[(100, 101, 40, 2.5)]);
+        let de = c.inner().dechirp(&win);
+        let d = c.demodulate(&de, &b, &SymbolContext::default());
+        for w in d.candidates.windows(2) {
+            assert!(w[0].intersected_power >= w[1].intersected_power);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Streaming (chunked) CIC reception.
+//!
+//! The paper deploys CIC as a GNU Radio block at an SDR gateway or as a
+//! C-RAN module in the cloud (§6): samples arrive continuously, not as a
+//! finished capture. [`StreamingReceiver`] wraps [`crate::CicReceiver`]
+//! with a bounded internal buffer:
+//!
+//! * `push(chunk)` appends samples, decodes every packet whose frame is
+//!   now complete, and evicts samples that can no longer contribute to
+//!   any future packet;
+//! * memory stays bounded by `frame length + margin + chunk length`
+//!   regardless of stream duration;
+//! * the emitted packet sequence is identical to running the batch
+//!   receiver over the whole recording, for any chunking.
+
+use lora_dsp::Cf32;
+use lora_phy::params::{CodeRate, LoraParams};
+
+use crate::config::CicConfig;
+use crate::receiver::{CicReceiver, DecodedPacket};
+
+/// A chunk-at-a-time CIC receiver with bounded memory.
+pub struct StreamingReceiver {
+    rx: CicReceiver,
+    buffer: Vec<Cf32>,
+    /// Absolute sample index of `buffer[0]` in the stream.
+    origin: usize,
+    /// Absolute frame starts already emitted (recent ones only).
+    emitted: Vec<usize>,
+}
+
+impl StreamingReceiver {
+    /// Wrap a configured receiver.
+    pub fn new(params: LoraParams, cr: CodeRate, payload_len: usize, config: CicConfig) -> Self {
+        Self {
+            rx: CicReceiver::new(params, cr, payload_len, config),
+            buffer: Vec::new(),
+            origin: 0,
+            emitted: Vec::new(),
+        }
+    }
+
+    /// The wrapped batch receiver.
+    pub fn inner(&self) -> &CicReceiver {
+        &self.rx
+    }
+
+    /// Total samples consumed so far.
+    pub fn position(&self) -> usize {
+        self.origin + self.buffer.len()
+    }
+
+    /// Current internal buffer length (bounded; see module docs).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Frame length in samples for the configured payload size.
+    fn frame_len(&self) -> usize {
+        let layout = lora_phy::modulate::FrameLayout::new(self.rx.params());
+        layout.frame_len(self.rx.n_data_symbols())
+    }
+
+    /// Samples kept behind the stream head after processing: one full
+    /// frame (a packet not yet complete may have started this long ago)
+    /// plus a preamble's worth of history and two symbols of margin. The
+    /// extra preamble span pairs with the front-margin suppression in
+    /// `process_inner`: any eviction point slices through *some* packet's
+    /// frame, and a truncated preamble at the buffer front can confirm as
+    /// a symbol-shifted alias of an already-emitted packet.
+    fn keep_len(&self) -> usize {
+        // frame + preamble + 4 symbols: the extra slack guarantees the
+        // emission window (frame end + 2 sps inside the buffer) never
+        // collides with the front-margin suppression (preamble + 1 sps
+        // from the evicted edge), for any chunk size.
+        let layout = lora_phy::modulate::FrameLayout::new(self.rx.params());
+        self.frame_len() + layout.data_start + 4 * self.rx.params().samples_per_symbol()
+    }
+
+    /// Append a chunk and return every packet completed by it, in frame
+    /// order. Packets whose frames extend past the current stream head
+    /// are held until a later push completes them.
+    pub fn push(&mut self, chunk: &[Cf32]) -> Vec<DecodedPacket> {
+        self.buffer.extend_from_slice(chunk);
+        let out = self.process();
+        // Evict everything that cannot matter to a future packet.
+        if self.buffer.len() > self.keep_len() {
+            let drop = self.buffer.len() - self.keep_len();
+            self.buffer.drain(..drop);
+            self.origin += drop;
+        }
+        let horizon = self.origin;
+        self.emitted.retain(|&s| s >= horizon.saturating_sub(1));
+        out
+    }
+
+    /// Drain: decode anything decodable in the remaining buffer, even if
+    /// that means giving up on packets that would have needed more
+    /// samples. Call once at end of stream.
+    pub fn flush(&mut self) -> Vec<DecodedPacket> {
+        let out = self.process_inner(true);
+        self.origin += self.buffer.len();
+        self.buffer.clear();
+        self.emitted.clear();
+        out
+    }
+
+    fn process(&mut self) -> Vec<DecodedPacket> {
+        self.process_inner(false)
+    }
+
+    fn process_inner(&mut self, draining: bool) -> Vec<DecodedPacket> {
+        if self.buffer.len() < self.rx.params().samples_per_symbol() {
+            return Vec::new();
+        }
+        let sps = self.rx.params().samples_per_symbol();
+        let frame = self.frame_len();
+        let mut out = Vec::new();
+        for mut pkt in self.rx.receive(&self.buffer) {
+            // Hold packets that ran off the end of the buffer — the next
+            // push will complete them. Also hold packets whose frame ends
+            // within two symbols of the stream head: a detection made at
+            // the very edge of the buffer can be an artifact of the
+            // partial view (the next push re-evaluates it with context).
+            if pkt.truncated_symbols > 0 {
+                continue;
+            }
+            if !draining && pkt.detection.frame_start + frame + 2 * sps > self.buffer.len() {
+                continue;
+            }
+            // Front margin: a detection starting this close to the evicted
+            // edge lacks full preamble context and can be a shifted alias
+            // of a packet already emitted. Any *real* packet completes
+            // (and is emitted) before its start drifts into this margin,
+            // because keep_len exceeds frame + margin by construction.
+            let layout = lora_phy::modulate::FrameLayout::new(self.rx.params());
+            if !draining
+                && self.origin > 0
+                && pkt.detection.frame_start < layout.data_start + sps
+            {
+                continue;
+            }
+            let absolute = self.origin + pkt.detection.frame_start;
+            if self
+                .emitted
+                .iter()
+                .any(|&s| s.abs_diff(absolute) < sps / 2)
+            {
+                continue;
+            }
+            self.emitted.push(absolute);
+            pkt.detection.frame_start = absolute;
+            out.push(pkt);
+        }
+        out.sort_by_key(|p| p.detection.frame_start);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_channel::{add_unit_noise, amplitude_for_snr, superpose, Emission};
+    use lora_phy::packet::Transceiver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> LoraParams {
+        LoraParams::new(8, 250e3, 4).unwrap()
+    }
+
+    fn payload(tag: u8) -> Vec<u8> {
+        (0..14).map(|i| i * 5 + tag).collect()
+    }
+
+    /// Three packets, two of them colliding, with noise.
+    fn capture() -> (Vec<Cf32>, Vec<(usize, Vec<u8>)>) {
+        let p = params();
+        let x = Transceiver::new(p, CodeRate::Cr45);
+        let sps = p.samples_per_symbol();
+        let a = amplitude_for_snr(22.0, p.oversampling());
+        let truth = vec![
+            (3000usize, payload(1)),
+            (3000 + 14 * sps + 500, payload(2)),
+            (3000 + 90 * sps, payload(3)),
+        ];
+        let emissions: Vec<Emission> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, (start, pl))| Emission {
+                waveform: x.waveform(pl),
+                amplitude: a,
+                start_sample: *start,
+                cfo_hz: [700.0, -1500.0, 2400.0][i],
+            })
+            .collect();
+        let len = truth.last().unwrap().0 + x.frame_samples(14) + 4096;
+        let mut cap = superpose(&p, len, &emissions);
+        let mut rng = StdRng::seed_from_u64(77);
+        add_unit_noise(&mut rng, &mut cap);
+        (cap, truth)
+    }
+
+    fn run_streaming(cap: &[Cf32], chunk: usize) -> Vec<(usize, Option<Vec<u8>>)> {
+        let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 14, CicConfig::default());
+        let mut got = Vec::new();
+        for c in cap.chunks(chunk) {
+            for pkt in s.push(c) {
+                got.push((pkt.detection.frame_start, pkt.payload));
+            }
+        }
+        for pkt in s.flush() {
+            got.push((pkt.detection.frame_start, pkt.payload));
+        }
+        got.sort_by_key(|g| g.0);
+        got
+    }
+
+    #[test]
+    fn matches_batch_for_various_chunk_sizes() {
+        let (cap, _) = capture();
+        let batch = CicReceiver::new(params(), CodeRate::Cr45, 14, CicConfig::default());
+        let mut expect: Vec<(usize, Option<Vec<u8>>)> = batch
+            .receive(&cap)
+            .into_iter()
+            .map(|p| (p.detection.frame_start, p.payload))
+            .collect();
+        expect.sort_by_key(|g| g.0);
+
+        for chunk in [1024usize, 10_000, 100_000, cap.len()] {
+            let got = run_streaming(&cap, chunk);
+            assert_eq!(got.len(), expect.len(), "chunk {chunk}");
+            for ((gs, gp), (es, ep)) in got.iter().zip(&expect) {
+                assert!(gs.abs_diff(*es) <= 4, "chunk {chunk}: {gs} vs {es}");
+                assert_eq!(gp, ep, "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn decodes_all_three_packets() {
+        let (cap, truth) = capture();
+        let got = run_streaming(&cap, 8192);
+        assert_eq!(got.len(), 3);
+        for ((start, pl), (ts, tp)) in got.iter().zip(&truth) {
+            assert!(start.abs_diff(*ts) <= 4);
+            assert_eq!(pl.as_deref(), Some(&tp[..]));
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let (cap, _) = capture();
+        let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 14, CicConfig::default());
+        let chunk = 4096;
+        let bound = s.keep_len() + chunk;
+        for c in cap.chunks(chunk) {
+            s.push(c);
+            assert!(s.buffered() <= bound, "buffer {} > bound {bound}", s.buffered());
+        }
+        assert_eq!(s.position(), cap.len());
+    }
+
+    #[test]
+    fn no_duplicate_emissions() {
+        let (cap, _) = capture();
+        let got = run_streaming(&cap, 2048);
+        for w in got.windows(2) {
+            assert!(w[1].0 - w[0].0 > 512, "duplicate at {} / {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_pushes_are_safe() {
+        let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 14, CicConfig::default());
+        assert!(s.push(&[]).is_empty());
+        assert!(s.push(&[Cf32::new(0.0, 0.0); 10]).is_empty());
+        assert!(s.flush().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Sliding cross-correlation used by packet detection.
+//!
+//! Preamble detection multiplies the incoming stream with a reference chirp
+//! and looks at the resulting spectrum, but fine time alignment and some
+//! tests want a plain matched filter: `c[k] = |Σ_n r[k+n]·conj(ref[n])|`.
+
+use crate::{math, Cf32};
+
+/// Matched-filter output magnitude at a single lag `k`.
+///
+/// Returns 0 when the window `[k, k + ref.len())` does not fit in `signal`.
+pub fn correlation_at(signal: &[Cf32], reference: &[Cf32], k: usize) -> f64 {
+    let m = reference.len();
+    if m == 0 || k + m > signal.len() {
+        return 0.0;
+    }
+    let mut acc = num_complex::Complex64::new(0.0, 0.0);
+    for (s, r) in signal[k..k + m].iter().zip(reference) {
+        let p = s * r.conj();
+        acc += num_complex::Complex64::new(p.re as f64, p.im as f64);
+    }
+    acc.norm()
+}
+
+/// Normalised correlation in `[0, 1]`: the raw magnitude divided by the
+/// energies of both windows (Cauchy–Schwarz bound). 1.0 means the window
+/// is exactly a scaled/rotated copy of the reference.
+pub fn normalized_correlation_at(signal: &[Cf32], reference: &[Cf32], k: usize) -> f64 {
+    let m = reference.len();
+    if m == 0 || k + m > signal.len() {
+        return 0.0;
+    }
+    let c = correlation_at(signal, reference, k);
+    let es = math::energy(&signal[k..k + m]);
+    let er = math::energy(reference);
+    let denom = (es * er).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (c / denom).min(1.0)
+    }
+}
+
+/// Evaluate the matched filter at lags `start, start+hop, ...` up to the
+/// last lag where the reference fits, returning `(lag, magnitude)` pairs.
+pub fn correlate_hops(
+    signal: &[Cf32],
+    reference: &[Cf32],
+    start: usize,
+    hop: usize,
+) -> Vec<(usize, f64)> {
+    assert!(hop > 0, "hop must be positive");
+    let m = reference.len();
+    if m == 0 || signal.len() < m {
+        return Vec::new();
+    }
+    let last = signal.len() - m;
+    let mut out = Vec::new();
+    let mut k = start;
+    while k <= last {
+        out.push((k, correlation_at(signal, reference, k)));
+        k += hop;
+    }
+    out
+}
+
+/// Lag of the maximum matched-filter output within `[lo, hi]` (inclusive),
+/// searched exhaustively at every sample. Used for fine time alignment of
+/// a detected preamble. Returns `None` when the range is empty or the
+/// reference does not fit anywhere in it.
+pub fn refine_peak_lag(
+    signal: &[Cf32],
+    reference: &[Cf32],
+    lo: usize,
+    hi: usize,
+) -> Option<(usize, f64)> {
+    let m = reference.len();
+    if m == 0 || signal.len() < m {
+        return None;
+    }
+    let hi = hi.min(signal.len() - m);
+    if lo > hi {
+        return None;
+    }
+    (lo..=hi)
+        .map(|k| (k, correlation_at(signal, reference, k)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::TAU;
+
+    fn chirpish(n: usize) -> Vec<Cf32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                Cf32::from_polar(1.0, TAU * (10.0 * t * t - 5.0 * t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn peak_at_true_lag() {
+        let r = chirpish(64);
+        let mut sig = vec![Cf32::new(0.0, 0.0); 200];
+        for (i, c) in r.iter().enumerate() {
+            sig[50 + i] = *c;
+        }
+        let (lag, _) = refine_peak_lag(&sig, &r, 0, 199).unwrap();
+        assert_eq!(lag, 50);
+    }
+
+    #[test]
+    fn normalized_is_one_for_exact_copy() {
+        let r = chirpish(32);
+        let mut sig = vec![Cf32::new(0.0, 0.0); 100];
+        for (i, c) in r.iter().enumerate() {
+            sig[10 + i] = *c * Cf32::from_polar(3.0, 1.2); // scaled + rotated
+        }
+        let c = normalized_correlation_at(&sig, &r, 10);
+        assert!((c - 1.0).abs() < 1e-4, "got {c}");
+    }
+
+    #[test]
+    fn normalized_low_for_mismatch() {
+        let r = chirpish(64);
+        let noise: Vec<Cf32> = (0..64)
+            .map(|i| Cf32::from_polar(1.0, (i as f32 * 1.7).sin() * 9.0))
+            .collect();
+        let c = normalized_correlation_at(&noise, &r, 0);
+        assert!(c < 0.5, "got {c}");
+    }
+
+    #[test]
+    fn out_of_bounds_lag_is_zero() {
+        let r = chirpish(16);
+        let sig = chirpish(20);
+        assert_eq!(correlation_at(&sig, &r, 5), 0.0);
+        assert_eq!(correlation_at(&sig, &r, 4), correlation_at(&sig, &r, 4));
+    }
+
+    #[test]
+    fn hops_cover_expected_lags() {
+        let r = chirpish(8);
+        let sig = chirpish(32);
+        let hops = correlate_hops(&sig, &r, 0, 5);
+        let lags: Vec<usize> = hops.iter().map(|p| p.0).collect();
+        assert_eq!(lags, vec![0, 5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn refine_empty_range_none() {
+        let r = chirpish(8);
+        let sig = chirpish(32);
+        assert!(refine_peak_lag(&sig, &r, 30, 10).is_none());
+    }
+
+    #[test]
+    fn empty_reference_none() {
+        let sig = chirpish(32);
+        assert!(refine_peak_lag(&sig, &[], 0, 10).is_none());
+        assert!(correlate_hops(&sig, &[], 0, 1).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! FFT engine with cached plans.
+//!
+//! Every spectrum in CIC is estimated on the same `2^SF * os`-point grid, so
+//! the engine keeps per-length plans in a small cache and provides a
+//! zero-padding transform so short sub-symbol windows land on that grid.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rustfft::{Fft, FftPlanner};
+
+use crate::Cf32;
+
+/// A forward/inverse FFT engine with plan caching.
+///
+/// Not `Sync`: each worker thread owns its own engine (plans are cheap to
+/// create once and the demodulator is parallelised per symbol, so sharing a
+/// locked planner would only add contention).
+pub struct FftEngine {
+    planner: RefCell<FftPlanner<f32>>,
+    forward: RefCell<HashMap<usize, Arc<dyn Fft<f32>>>>,
+    inverse: RefCell<HashMap<usize, Arc<dyn Fft<f32>>>>,
+}
+
+impl Default for FftEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FftEngine {
+    /// Create an engine with an empty plan cache.
+    pub fn new() -> Self {
+        Self {
+            planner: RefCell::new(FftPlanner::new()),
+            forward: RefCell::new(HashMap::new()),
+            inverse: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn plan_forward(&self, n: usize) -> Arc<dyn Fft<f32>> {
+        self.forward
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| self.planner.borrow_mut().plan_fft_forward(n))
+            .clone()
+    }
+
+    fn plan_inverse(&self, n: usize) -> Arc<dyn Fft<f32>> {
+        self.inverse
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| self.planner.borrow_mut().plan_fft_inverse(n))
+            .clone()
+    }
+
+    /// In-place forward FFT of `buf`.
+    pub fn forward(&self, buf: &mut [Cf32]) {
+        if buf.is_empty() {
+            return;
+        }
+        self.plan_forward(buf.len()).process(buf);
+    }
+
+    /// In-place inverse FFT of `buf`, scaled by `1/N` so that
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, buf: &mut [Cf32]) {
+        let n = buf.len();
+        if n == 0 {
+            return;
+        }
+        self.plan_inverse(n).process(buf);
+        let k = 1.0 / n as f32;
+        for c in buf.iter_mut() {
+            *c *= k;
+        }
+    }
+
+    /// Forward FFT of `x` zero-padded (or truncated) to `n` points,
+    /// returning a fresh buffer. Zero-padding interpolates the spectrum on
+    /// a denser grid without changing its resolution — this is how
+    /// sub-symbol spectra are placed on the common CIC frequency grid.
+    pub fn forward_padded(&self, x: &[Cf32], n: usize) -> Vec<Cf32> {
+        let mut buf = vec![Cf32::new(0.0, 0.0); n];
+        let m = x.len().min(n);
+        buf[..m].copy_from_slice(&x[..m]);
+        self.forward(&mut buf);
+        buf
+    }
+
+    /// Power spectrum (`|X[k]|^2`) of `x` zero-padded to `n` points.
+    pub fn power_spectrum_padded(&self, x: &[Cf32], n: usize) -> Vec<f64> {
+        let buf = self.forward_padded(x, n);
+        buf.iter().map(|c| c.norm_sqr() as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::TAU;
+
+    fn tone(n: usize, bin: f32) -> Vec<Cf32> {
+        (0..n)
+            .map(|i| Cf32::from_polar(1.0, TAU * bin * i as f32 / n as f32))
+            .collect()
+    }
+
+    #[test]
+    fn forward_peak_at_tone_bin() {
+        let eng = FftEngine::new();
+        let mut x = tone(256, 37.0);
+        eng.forward(&mut x);
+        let max = x
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+            .unwrap()
+            .0;
+        assert_eq!(max, 37);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let eng = FftEngine::new();
+        let orig = tone(128, 5.5);
+        let mut x = orig.clone();
+        eng.forward(&mut x);
+        eng.inverse(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a - b).norm() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn padded_peak_position_scales() {
+        // A length-64 tone at bin 8, padded to 256, peaks at bin 32.
+        let eng = FftEngine::new();
+        let x = tone(64, 8.0);
+        let p = eng.power_spectrum_padded(&x, 256);
+        let max = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max, 32);
+    }
+
+    #[test]
+    fn padded_preserves_energy_parseval() {
+        let eng = FftEngine::new();
+        let x = tone(100, 3.0);
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr() as f64).sum();
+        let n = 256;
+        let spec = eng.power_spectrum_padded(&x, n);
+        let freq_energy: f64 = spec.iter().sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() / time_energy < 1e-4,
+            "Parseval violated: {time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_work() {
+        let eng = FftEngine::new();
+        let mut x = tone(240, 10.0);
+        let orig = x.clone();
+        eng.forward(&mut x);
+        eng.inverse(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a - b).norm() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let eng = FftEngine::new();
+        let mut x: Vec<Cf32> = vec![];
+        eng.forward(&mut x);
+        eng.inverse(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_reuse_gives_same_result() {
+        let eng = FftEngine::new();
+        let x = tone(128, 9.0);
+        let a = eng.power_spectrum_padded(&x, 128);
+        let b = eng.power_spectrum_padded(&x, 128);
+        assert_eq!(a, b);
+    }
+}

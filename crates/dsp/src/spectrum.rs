@@ -1,0 +1,273 @@
+//! Power spectra on a fixed frequency grid.
+//!
+//! A [`Spectrum`] holds per-bin power. In the LoRa context the grid is the
+//! `2^SF`-bin symbol grid: after de-chirping, symbol value `s` produces a
+//! tone whose energy lands in bin `s`. With `os`-times oversampling the
+//! de-chirped tone aliases into two bins of the raw `2^SF * os`-point FFT
+//! (`s` and `2^SF * (os-1) + s`); [`Spectrum::folded`] adds those together
+//! so that downstream logic always sees the `2^SF`-bin grid.
+
+use crate::math;
+
+/// A non-negative power spectrum on a fixed bin grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    bins: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Wrap raw per-bin power values.
+    ///
+    /// Negative values (which can only arise from caller bugs — power is a
+    /// squared magnitude) are clamped to zero so that intersection and
+    /// normalisation stay well-defined.
+    pub fn from_power(mut bins: Vec<f64>) -> Self {
+        for b in &mut bins {
+            if *b < 0.0 {
+                *b = 0.0;
+            }
+        }
+        Self { bins }
+    }
+
+    /// Build a folded spectrum from a raw `n_bins * os`-point power FFT of
+    /// an oversampled de-chirped signal.
+    ///
+    /// Bin `k` of the result accumulates raw bins `k` (the pre-fold alias)
+    /// and `n_bins * (os - 1) + k` (the post-fold alias, i.e. the part of
+    /// the chirp that wrapped from `+B/2` to `-B/2`).
+    pub fn folded(raw: &[f64], n_bins: usize, os: usize) -> Self {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            raw.len(),
+            n_bins * os,
+            "raw spectrum length {} != n_bins {} * os {}",
+            raw.len(),
+            n_bins,
+            os
+        );
+        if os == 1 {
+            return Self::from_power(raw.to_vec());
+        }
+        let hi = n_bins * (os - 1);
+        let bins = (0..n_bins).map(|k| raw[k] + raw[hi + k]).collect();
+        Self { bins }
+    }
+
+    /// Build an **amplitude-folded** spectrum from a raw power FFT: bin
+    /// `k` gets `sqrt(raw[k]) + sqrt(raw[n_bins*(os-1)+k])`.
+    ///
+    /// A rectangular tone of `M` samples has FFT magnitude `A·M`, so when
+    /// the band-edge fold splits a symbol into segments of `M₁` and `M₂`
+    /// samples, the amplitude sum is `A·(M₁+M₂)` — invariant to where the
+    /// fold lands. Power-domain folding (`M₁² + M₂²`) is not, which would
+    /// make a full-duration symbol look edge-imbalanced to SED whenever
+    /// its fold sits inside one half.
+    pub fn folded_amplitude(raw: &[f64], n_bins: usize, os: usize) -> Self {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            raw.len(),
+            n_bins * os,
+            "raw spectrum length {} != n_bins {} * os {}",
+            raw.len(),
+            n_bins,
+            os
+        );
+        if os == 1 {
+            return Self::from_power(raw.iter().map(|p| p.max(0.0).sqrt()).collect());
+        }
+        let hi = n_bins * (os - 1);
+        let bins = (0..n_bins)
+            .map(|k| raw[k].max(0.0).sqrt() + raw[hi + k].max(0.0).sqrt())
+            .collect();
+        Self { bins }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if the spectrum has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Per-bin power values.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Mutable access to per-bin power values.
+    pub fn bins_mut(&mut self) -> &mut [f64] {
+        &mut self.bins
+    }
+
+    /// Total energy (sum of all bins).
+    pub fn total_energy(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Scale all bins so that the total energy is 1.
+    ///
+    /// The paper (§5.2) requires all spectra in an ICSS to be normalised to
+    /// unit energy before intersection, to remove scaling effects of
+    /// different window sizes. A zero spectrum stays zero.
+    pub fn normalize_unit_energy(&mut self) {
+        let e = self.total_energy();
+        if e > 0.0 {
+            let k = 1.0 / e;
+            for b in &mut self.bins {
+                *b *= k;
+            }
+        }
+    }
+
+    /// Unit-energy-normalised copy.
+    pub fn normalized(&self) -> Self {
+        let mut s = self.clone();
+        s.normalize_unit_energy();
+        s
+    }
+
+    /// Index and power of the strongest bin. Returns `None` for an empty
+    /// spectrum.
+    pub fn argmax(&self) -> Option<(usize, f64)> {
+        self.bins
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Power of bin `k` in dB (relative to 1.0).
+    pub fn bin_db(&self, k: usize) -> f64 {
+        math::db(self.bins[k])
+    }
+
+    /// Mean power over all bins — a crude noise-floor proxy for a spectrum
+    /// dominated by noise plus a few narrow peaks.
+    pub fn mean_power(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.total_energy() / self.bins.len() as f64
+        }
+    }
+
+    /// Median bin power: a robust noise-floor estimate that a handful of
+    /// signal peaks cannot drag upward.
+    pub fn median_power(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.bins.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Spectrum {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.bins[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_adds_alias_bins() {
+        // n_bins = 4, os = 2 -> raw has 8 bins; result[k] = raw[k] + raw[4 + k].
+        let raw = vec![1.0, 0.0, 0.0, 0.0, 0.5, 2.0, 0.0, 0.0];
+        let s = Spectrum::folded(&raw, 4, 2);
+        assert_eq!(s.bins(), &[1.5, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fold_os1_is_identity() {
+        let raw = vec![1.0, 2.0, 3.0];
+        let s = Spectrum::folded(&raw, 3, 1);
+        assert_eq!(s.bins(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "raw spectrum length")]
+    fn fold_length_mismatch_panics() {
+        Spectrum::folded(&[1.0; 7], 4, 2);
+    }
+
+    #[test]
+    fn normalize_unit_energy_sums_to_one() {
+        let mut s = Spectrum::from_power(vec![1.0, 3.0, 4.0]);
+        s.normalize_unit_energy();
+        assert!((s.total_energy() - 1.0).abs() < 1e-12);
+        assert!((s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_spectrum_stays_zero() {
+        let mut s = Spectrum::from_power(vec![0.0; 8]);
+        s.normalize_unit_energy();
+        assert_eq!(s.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn argmax_finds_strongest() {
+        let s = Spectrum::from_power(vec![0.1, 5.0, 2.0]);
+        assert_eq!(s.argmax(), Some((1, 5.0)));
+    }
+
+    #[test]
+    fn argmax_empty_is_none() {
+        let s = Spectrum::from_power(vec![]);
+        assert_eq!(s.argmax(), None);
+    }
+
+    #[test]
+    fn negative_power_clamped() {
+        let s = Spectrum::from_power(vec![-1.0, 2.0]);
+        assert_eq!(s.bins(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn folded_amplitude_is_duration_invariant() {
+        // A tone split M1/M2 across the two alias bins: amplitude folding
+        // gives sqrt(M1^2) + sqrt(M2^2) = M1 + M2 regardless of the split;
+        // power folding gives M1^2 + M2^2 which is not invariant.
+        let m1 = 700.0f64;
+        let m2 = 324.0f64;
+        let mut raw_a = vec![0.0; 8];
+        raw_a[1] = m1 * m1;
+        raw_a[5] = m2 * m2; // alias of bin 1 with n_bins=4, os=2
+        let a = Spectrum::folded_amplitude(&raw_a, 4, 2);
+        let mut raw_b = vec![0.0; 8];
+        raw_b[1] = 512.0 * 512.0;
+        raw_b[5] = 512.0 * 512.0;
+        let b = Spectrum::folded_amplitude(&raw_b, 4, 2);
+        assert!((a[1] - (m1 + m2)).abs() < 1e-9);
+        assert!((b[1] - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_amplitude_os1_is_sqrt() {
+        let s = Spectrum::folded_amplitude(&[4.0, 9.0, 16.0], 3, 1);
+        assert_eq!(s.bins(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn median_ignores_single_peak() {
+        let mut bins = vec![1.0; 101];
+        bins[50] = 1e9;
+        let s = Spectrum::from_power(bins);
+        assert!((s.median_power() - 1.0).abs() < 1e-12);
+        assert!(s.mean_power() > 1e6);
+    }
+}

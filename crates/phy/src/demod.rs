@@ -1,0 +1,213 @@
+//! De-chirp demodulation (paper Eqns 3–4).
+//!
+//! The demodulator multiplies a received window with the down-chirp
+//! `C_0^*`; a (collision-free) symbol `s` becomes a tone that the FFT
+//! concentrates in bin `s`. These helpers are shared by the standard
+//! receiver, all baselines, and CIC (which de-chirps once per symbol and
+//! then windows *sub-symbols* of the de-chirped signal).
+
+use lora_dsp::{math, window::SampleRange, FftEngine, Spectrum};
+
+use crate::chirp::ChirpTable;
+use crate::params::LoraParams;
+
+/// A de-chirping demodulator bound to one parameter set.
+pub struct Demodulator {
+    table: ChirpTable,
+    fft: FftEngine,
+}
+
+impl Demodulator {
+    /// Build a demodulator (pre-computes chirp tables and FFT plans lazily).
+    pub fn new(params: LoraParams) -> Self {
+        Self {
+            table: ChirpTable::new(params),
+            fft: FftEngine::new(),
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &LoraParams {
+        self.table.params()
+    }
+
+    /// Chirp reference table.
+    pub fn table(&self) -> &ChirpTable {
+        &self.table
+    }
+
+    /// FFT engine (shared plans).
+    pub fn fft(&self) -> &FftEngine {
+        &self.fft
+    }
+
+    /// Multiply one symbol-length window with the down-chirp.
+    ///
+    /// `samples` may be shorter than a full symbol (trailing window at the
+    /// end of a capture); the product is truncated accordingly.
+    pub fn dechirp(&self, samples: &[lora_dsp::Cf32]) -> Vec<lora_dsp::Cf32> {
+        let n = samples.len().min(self.table.down().len());
+        math::multiply(&samples[..n], &self.table.down()[..n])
+    }
+
+    /// Multiply a window with the *up*-chirp (used for down-chirp
+    /// detection in the preamble: a down-chirp times the up-chirp is a
+    /// constant tone, while data up-chirps smear — paper §5.8).
+    pub fn updechirp(&self, samples: &[lora_dsp::Cf32]) -> Vec<lora_dsp::Cf32> {
+        let n = samples.len().min(self.table.up().len());
+        math::multiply(&samples[..n], &self.table.up()[..n])
+    }
+
+    /// Folded power spectrum of an already de-chirped signal (or any slice
+    /// of it), zero-padded onto the common `2^SF·os`-point grid and folded
+    /// to `2^SF` bins.
+    pub fn folded_spectrum(&self, dechirped: &[lora_dsp::Cf32]) -> Spectrum {
+        let p = self.params();
+        let raw = self
+            .fft
+            .power_spectrum_padded(dechirped, p.samples_per_symbol());
+        Spectrum::folded(&raw, p.n_bins(), p.oversampling())
+    }
+
+    /// Amplitude-folded spectrum of a slice of a de-chirped signal:
+    /// magnitudes instead of powers, with the two fold aliases summed in
+    /// the amplitude domain so a tone's value is proportional to its
+    /// duration in the window regardless of where the band-edge fold
+    /// lands. Used by SED (edge-energy comparisons).
+    pub fn folded_amplitude_spectrum(&self, dechirped: &[lora_dsp::Cf32]) -> Spectrum {
+        let p = self.params();
+        let raw = self
+            .fft
+            .power_spectrum_padded(dechirped, p.samples_per_symbol());
+        Spectrum::folded_amplitude(&raw, p.n_bins(), p.oversampling())
+    }
+
+    /// Folded spectrum of a sub-range of a de-chirped symbol.
+    pub fn folded_spectrum_range(
+        &self,
+        dechirped: &[lora_dsp::Cf32],
+        range: SampleRange,
+    ) -> Spectrum {
+        self.folded_spectrum(range.slice(dechirped))
+    }
+
+    /// Folded power spectrum of a raw (not yet de-chirped) symbol window.
+    pub fn symbol_spectrum(&self, samples: &[lora_dsp::Cf32]) -> Spectrum {
+        self.folded_spectrum(&self.dechirp(samples))
+    }
+
+    /// Demodulate one collision-free symbol window to its symbol value
+    /// (argmax bin). Returns `None` for an empty window.
+    pub fn demodulate_symbol(&self, samples: &[lora_dsp::Cf32]) -> Option<usize> {
+        if samples.is_empty() {
+            return None;
+        }
+        self.symbol_spectrum(samples).argmax().map(|(bin, _)| bin)
+    }
+
+    /// High-resolution fractional peak position (in bins) of a de-chirped
+    /// window, via a `zoom`-times zero-padded FFT around the whole
+    /// spectrum. Used for fractional-CFO estimation (paper §5.7 uses a
+    /// 16× FFT).
+    pub fn fractional_peak(&self, dechirped: &[lora_dsp::Cf32], zoom: usize) -> Option<f64> {
+        assert!(zoom >= 1);
+        let p = self.params();
+        let len = p.samples_per_symbol() * zoom;
+        let raw = self.fft.power_spectrum_padded(dechirped, len);
+        // Fold the zoomed grid: bin k aliases with n_bins*zoom*(os-1)+k.
+        let n_fold = p.n_bins() * zoom;
+        let hi = n_fold * (p.oversampling() - 1);
+        let folded: Vec<f64> = if p.oversampling() == 1 {
+            raw
+        } else {
+            (0..n_fold).map(|k| raw[k] + raw[hi + k]).collect()
+        };
+        let spec = Spectrum::from_power(folded);
+        let (bin, power) = spec.argmax()?;
+        if power <= 0.0 {
+            return None;
+        }
+        let frac = lora_dsp::peaks::refine_quadratic(&spec, bin);
+        Some(frac / zoom as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chirp::{apply_cfo, symbol_waveform};
+
+    fn demod() -> Demodulator {
+        Demodulator::new(LoraParams::new(8, 250e3, 4).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_all_symbol_values_sparse() {
+        let d = demod();
+        for s in (0..256).step_by(11) {
+            let w = symbol_waveform(d.params(), s);
+            assert_eq!(d.demodulate_symbol(&w), Some(s));
+        }
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        assert_eq!(demod().demodulate_symbol(&[]), None);
+    }
+
+    #[test]
+    fn short_window_still_demodulates() {
+        // Half a symbol still peaks at the right bin (wider lobe).
+        let d = demod();
+        let w = symbol_waveform(d.params(), 99);
+        let half = &w[..w.len() / 2];
+        assert_eq!(d.demodulate_symbol(half), Some(99));
+    }
+
+    #[test]
+    fn subrange_spectrum_matches_slice() {
+        let d = demod();
+        let w = symbol_waveform(d.params(), 42);
+        let de = d.dechirp(&w);
+        let r = SampleRange::new(100, 700);
+        let a = d.folded_spectrum_range(&de, r);
+        let b = d.folded_spectrum(&de[100..700]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fractional_peak_resolves_sub_bin_cfo() {
+        let d = demod();
+        let p = *d.params();
+        let s = 40usize;
+        let cfo_bins = 0.3;
+        let mut w = symbol_waveform(&p, s);
+        apply_cfo(&p, &mut w, cfo_bins * p.bin_hz(), 0);
+        let de = d.dechirp(&w);
+        let f = d.fractional_peak(&de, 16).unwrap();
+        assert!(
+            (f - (s as f64 + cfo_bins)).abs() < 0.1,
+            "estimated {f}, expected {}",
+            s as f64 + cfo_bins
+        );
+    }
+
+    #[test]
+    fn updechirp_turns_downchirp_into_tone() {
+        let d = demod();
+        let p = *d.params();
+        // A down-chirp multiplied by the up-chirp is a pure DC tone:
+        // nearly all energy in folded bin 0.
+        let down = d.table().down().to_vec();
+        let spec = d.folded_spectrum(&d.updechirp(&down));
+        let (bin, _) = spec.argmax().unwrap();
+        assert_eq!(bin, 0);
+        assert!(spec[0] / spec.total_energy() > 0.9);
+        // While a data up-chirp through the same path smears: peak carries
+        // only a small fraction of total energy.
+        let data = symbol_waveform(&p, 123);
+        let smear = d.folded_spectrum(&d.updechirp(&data));
+        let (_, pk) = smear.argmax().unwrap();
+        assert!(pk / smear.total_energy() < 0.2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Hamming forward error correction over 4-bit nibbles.
+//!
+//! LoRa encodes each payload nibble with a shortened Hamming code selected
+//! by the coding rate (paper §3, §7.1 uses 4/5):
+//!
+//! * 4/5 — single parity bit: detects odd-weight errors;
+//! * 4/6 — two parity bits: detects (does not correct) errors;
+//! * 4/7 — Hamming(7,4): corrects any single-bit error;
+//! * 4/8 — Hamming(8,4) SECDED: corrects singles, detects doubles.
+
+use crate::params::CodeRate;
+
+/// Outcome of decoding one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStatus {
+    /// Codeword was consistent.
+    Clean,
+    /// A single-bit error was corrected (4/7, 4/8 only).
+    Corrected,
+    /// An error was detected but could not be corrected; the returned
+    /// nibble is a best-effort guess (the raw data bits).
+    Detected,
+}
+
+#[inline]
+fn bit(v: u8, i: usize) -> u8 {
+    (v >> i) & 1
+}
+
+/// Encode a nibble (low 4 bits of `nibble`) into a codeword of
+/// `cr.codeword_bits()` bits, returned in the low bits of a `u8`.
+///
+/// Layout (LSB-first): bits 0..4 are data `d0..d3`, higher bits parity.
+pub fn encode_nibble(nibble: u8, cr: CodeRate) -> u8 {
+    let d = nibble & 0x0F;
+    let d0 = bit(d, 0);
+    let d1 = bit(d, 1);
+    let d2 = bit(d, 2);
+    let d3 = bit(d, 3);
+    // Hamming(7,4) parity triplet; p3 is the SECDED overall parity.
+    let p0 = d0 ^ d1 ^ d3;
+    let p1 = d0 ^ d2 ^ d3;
+    let p2 = d1 ^ d2 ^ d3;
+    match cr {
+        CodeRate::Cr45 => d | ((d0 ^ d1 ^ d2 ^ d3) << 4),
+        CodeRate::Cr46 => d | (p0 << 4) | (p1 << 5),
+        CodeRate::Cr47 => d | (p0 << 4) | (p1 << 5) | (p2 << 6),
+        CodeRate::Cr48 => {
+            let cw = d | (p0 << 4) | (p1 << 5) | (p2 << 6);
+            let overall = (cw.count_ones() & 1) as u8;
+            cw | (overall << 7)
+        }
+    }
+}
+
+/// Decode a codeword back to `(nibble, status)`.
+pub fn decode_codeword(cw: u8, cr: CodeRate) -> (u8, DecodeStatus) {
+    let d = cw & 0x0F;
+    match cr {
+        CodeRate::Cr45 => {
+            let expect = bit(d, 0) ^ bit(d, 1) ^ bit(d, 2) ^ bit(d, 3);
+            if expect == bit(cw, 4) {
+                (d, DecodeStatus::Clean)
+            } else {
+                (d, DecodeStatus::Detected)
+            }
+        }
+        CodeRate::Cr46 => {
+            let p0 = bit(d, 0) ^ bit(d, 1) ^ bit(d, 3);
+            let p1 = bit(d, 0) ^ bit(d, 2) ^ bit(d, 3);
+            if p0 == bit(cw, 4) && p1 == bit(cw, 5) {
+                (d, DecodeStatus::Clean)
+            } else {
+                (d, DecodeStatus::Detected)
+            }
+        }
+        CodeRate::Cr47 => decode_hamming74(cw & 0x7F),
+        CodeRate::Cr48 => {
+            let (nib, status) = decode_hamming74(cw & 0x7F);
+            let overall_ok = (cw.count_ones() & 1) == 0;
+            match (status, overall_ok) {
+                // Syndrome clean + overall parity clean: no error.
+                (DecodeStatus::Clean, true) => (nib, DecodeStatus::Clean),
+                // Syndrome clean but overall parity bad: the parity bit
+                // itself flipped — data is fine.
+                (DecodeStatus::Clean, false) => (nib, DecodeStatus::Corrected),
+                // Syndrome fired and overall parity is odd: classic single
+                // error, corrected.
+                (DecodeStatus::Corrected, false) => (nib, DecodeStatus::Corrected),
+                // Syndrome fired but overall parity is even: double error —
+                // detectable, not correctable.
+                (DecodeStatus::Corrected, true) => (nib, DecodeStatus::Detected),
+                (s, _) => (nib, s),
+            }
+        }
+    }
+}
+
+/// Hamming(7,4) decode with single-error correction. Input: low 7 bits,
+/// data in bits 0..4, parity `p0,p1,p2` in bits 4..7.
+fn decode_hamming74(cw: u8) -> (u8, DecodeStatus) {
+    let d0 = bit(cw, 0);
+    let d1 = bit(cw, 1);
+    let d2 = bit(cw, 2);
+    let d3 = bit(cw, 3);
+    let s0 = d0 ^ d1 ^ d3 ^ bit(cw, 4);
+    let s1 = d0 ^ d2 ^ d3 ^ bit(cw, 5);
+    let s2 = d1 ^ d2 ^ d3 ^ bit(cw, 6);
+    let syndrome = s0 | (s1 << 1) | (s2 << 2);
+    if syndrome == 0 {
+        return (cw & 0x0F, DecodeStatus::Clean);
+    }
+    // Map syndrome -> flipped bit position in our layout. Each data/parity
+    // bit participates in a unique subset of the three checks.
+    let flip = match syndrome {
+        0b011 => 0, // d0 in s0,s1
+        0b101 => 1, // d1 in s0,s2
+        0b110 => 2, // d2 in s1,s2
+        0b111 => 3, // d3 in all
+        0b001 => 4, // p0 only
+        0b010 => 5, // p1 only
+        0b100 => 6, // p2 only
+        _ => unreachable!("3-bit syndrome"),
+    };
+    let fixed = cw ^ (1 << flip);
+    (fixed & 0x0F, DecodeStatus::Corrected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_CR: [CodeRate; 4] = [
+        CodeRate::Cr45,
+        CodeRate::Cr46,
+        CodeRate::Cr47,
+        CodeRate::Cr48,
+    ];
+
+    #[test]
+    fn clean_roundtrip_all_nibbles_all_rates() {
+        for cr in ALL_CR {
+            for nib in 0..16u8 {
+                let cw = encode_nibble(nib, cr);
+                assert!(
+                    (cw as u16) < (1u16 << cr.codeword_bits()),
+                    "codeword overflows width"
+                );
+                let (out, status) = decode_codeword(cw, cr);
+                assert_eq!(out, nib);
+                assert_eq!(status, DecodeStatus::Clean);
+            }
+        }
+    }
+
+    #[test]
+    fn cr47_corrects_every_single_bit_error() {
+        for nib in 0..16u8 {
+            let cw = encode_nibble(nib, CodeRate::Cr47);
+            for b in 0..7 {
+                let (out, status) = decode_codeword(cw ^ (1 << b), CodeRate::Cr47);
+                assert_eq!(out, nib, "nibble {nib} bit {b}");
+                assert_eq!(status, DecodeStatus::Corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn cr48_corrects_singles_detects_doubles() {
+        for nib in 0..16u8 {
+            let cw = encode_nibble(nib, CodeRate::Cr48);
+            for b in 0..8 {
+                let (out, status) = decode_codeword(cw ^ (1 << b), CodeRate::Cr48);
+                assert_eq!(out, nib, "single flip at bit {b}");
+                assert_eq!(status, DecodeStatus::Corrected);
+            }
+            for b1 in 0..8 {
+                for b2 in (b1 + 1)..8 {
+                    let (_, status) =
+                        decode_codeword(cw ^ (1 << b1) ^ (1 << b2), CodeRate::Cr48);
+                    assert_eq!(status, DecodeStatus::Detected, "double flip {b1},{b2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cr45_detects_single_bit_errors() {
+        for nib in 0..16u8 {
+            let cw = encode_nibble(nib, CodeRate::Cr45);
+            for b in 0..5 {
+                let (_, status) = decode_codeword(cw ^ (1 << b), CodeRate::Cr45);
+                assert_eq!(status, DecodeStatus::Detected);
+            }
+        }
+    }
+
+    #[test]
+    fn cr46_detects_single_bit_errors() {
+        for nib in 0..16u8 {
+            let cw = encode_nibble(nib, CodeRate::Cr46);
+            for b in 0..6 {
+                let (_, status) = decode_codeword(cw ^ (1 << b), CodeRate::Cr46);
+                assert_eq!(status, DecodeStatus::Detected);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_nibbles_distinct_codewords() {
+        for cr in ALL_CR {
+            let mut seen = std::collections::HashSet::new();
+            for nib in 0..16u8 {
+                assert!(seen.insert(encode_nibble(nib, cr)));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming74_min_distance_three() {
+        let words: Vec<u8> = (0..16u8)
+            .map(|n| encode_nibble(n, CodeRate::Cr47))
+            .collect();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let dist = (words[i] ^ words[j]).count_ones();
+                assert!(dist >= 3, "distance {dist} between {i} and {j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Diagonal interleaving.
+//!
+//! LoRa interleaves a block of `SF` codewords (each `4 + CR` bits) into
+//! `4 + CR` symbols of `SF` bits each, along diagonals. A burst that
+//! corrupts one *symbol* then spreads into at most one bit per *codeword*,
+//! which the Hamming layer can correct (4/7, 4/8) or detect (4/5, 4/6).
+
+/// Interleave one block.
+///
+/// `codewords` must contain exactly `sf` entries, each using at most
+/// `cw_bits` low bits. Returns `cw_bits` symbol values, each `sf` bits.
+///
+/// Bit mapping (diagonal): bit `b` of output symbol `i` is bit `i` of
+/// `codewords[(b + i) % sf]`.
+pub fn interleave_block(codewords: &[u8], sf: usize, cw_bits: usize) -> Vec<usize> {
+    assert_eq!(codewords.len(), sf, "block must hold exactly SF codewords");
+    assert!(cw_bits <= 8);
+    let mut symbols = vec![0usize; cw_bits];
+    for (i, sym) in symbols.iter_mut().enumerate() {
+        for b in 0..sf {
+            let cw = codewords[(b + i) % sf];
+            let bit = ((cw >> i) & 1) as usize;
+            *sym |= bit << b;
+        }
+    }
+    symbols
+}
+
+/// Invert [`interleave_block`].
+///
+/// `symbols` must contain exactly `cw_bits` entries, each using at most
+/// `sf` low bits. Returns the `sf` original codewords.
+pub fn deinterleave_block(symbols: &[usize], sf: usize, cw_bits: usize) -> Vec<u8> {
+    assert_eq!(
+        symbols.len(),
+        cw_bits,
+        "block must hold exactly 4+CR symbols"
+    );
+    let mut codewords = vec![0u8; sf];
+    for (i, &sym) in symbols.iter().enumerate() {
+        for b in 0..sf {
+            let bit = ((sym >> b) & 1) as u8;
+            let row = (b + i) % sf;
+            codewords[row] |= bit << i;
+        }
+    }
+    codewords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sf8_cr48() {
+        let cws: Vec<u8> = (0..8).map(|i| (i * 37 + 11) as u8).collect();
+        let syms = interleave_block(&cws, 8, 8);
+        assert_eq!(syms.len(), 8);
+        assert_eq!(deinterleave_block(&syms, 8, 8), cws);
+    }
+
+    #[test]
+    fn roundtrip_sf7_cr45() {
+        let cws: Vec<u8> = vec![0x1F, 0x00, 0x15, 0x0A, 0x1E, 0x01, 0x11];
+        let syms = interleave_block(&cws, 7, 5);
+        assert_eq!(syms.len(), 5);
+        for &s in &syms {
+            assert!(s < 128, "symbol exceeds SF7 range");
+        }
+        assert_eq!(deinterleave_block(&syms, 7, 5), cws);
+    }
+
+    #[test]
+    fn roundtrip_all_sf_cr_combinations() {
+        for sf in 7..=12usize {
+            for cw_bits in 5..=8usize {
+                let cws: Vec<u8> = (0..sf)
+                    .map(|i| ((i * 73 + 29) as u8) & ((1u16 << cw_bits) - 1) as u8)
+                    .collect();
+                let syms = interleave_block(&cws, sf, cw_bits);
+                assert_eq!(deinterleave_block(&syms, sf, cw_bits), cws, "sf{sf} cw{cw_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_symbol_error_touches_each_codeword_once() {
+        // Corrupt every bit of one symbol; each codeword must see at most
+        // one flipped bit — the property that makes Hamming(7,4)+ work.
+        let sf = 8;
+        let cw_bits = 8;
+        let cws: Vec<u8> = (0..sf).map(|i| (i * 19 + 3) as u8).collect();
+        let mut syms = interleave_block(&cws, sf, cw_bits);
+        syms[3] ^= (1 << sf) - 1; // clobber the whole symbol
+        let out = deinterleave_block(&syms, sf, cw_bits);
+        for (row, (&a, &b)) in cws.iter().zip(&out).enumerate() {
+            assert_eq!(
+                (a ^ b).count_ones(),
+                1,
+                "codeword {row} saw more than one flip"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_block_maps_to_zero_symbols() {
+        let syms = interleave_block(&vec![0u8; 8], 8, 5);
+        assert!(syms.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly SF")]
+    fn wrong_block_size_panics() {
+        interleave_block(&[0u8; 5], 8, 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! Packet framing and waveform synthesis (paper Fig 5).
+//!
+//! A LoRa packet on the air is:
+//!
+//! ```text
+//! | 8 x C_0 (up-chirps) | C_x, C_y (sync, y = x+8) | 2.25 x C_0^* | data symbols ... |
+//! ```
+//!
+//! The modulator emits a unit-amplitude baseband waveform; amplitude, CFO
+//! and timing offset are properties of the *channel* and are applied by
+//! `lora-channel`.
+
+use lora_dsp::Cf32;
+
+use crate::chirp::ChirpTable;
+use crate::params::LoraParams;
+
+/// Number of `C_0` up-chirps that open the preamble.
+pub const PREAMBLE_UPCHIRPS: usize = 8;
+/// Number of SYNC symbols following the up-chirps.
+pub const SYNC_SYMBOLS: usize = 2;
+/// Down-chirps closing the preamble, in units of quarter symbols (2.25).
+pub const DOWNCHIRP_QUARTERS: usize = 9;
+
+/// Default SYNC word: symbols `C_8, C_16` (paper: `x != 0`, `y = x + 8`).
+pub const DEFAULT_SYNC_X: usize = 8;
+
+/// Frame geometry for one parameter set — where each part of the packet
+/// sits, in samples from the start of the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Samples per full symbol.
+    pub samples_per_symbol: usize,
+    /// Sample offset of the first SYNC symbol.
+    pub sync_start: usize,
+    /// Sample offset of the first down-chirp.
+    pub downchirp_start: usize,
+    /// Sample offset of the first data symbol (= header length).
+    pub data_start: usize,
+}
+
+impl FrameLayout {
+    /// Compute the layout for `params`.
+    pub fn new(params: &LoraParams) -> Self {
+        let sps = params.samples_per_symbol();
+        debug_assert_eq!(sps % 4, 0, "2.25 down-chirps need sps % 4 == 0");
+        let sync_start = PREAMBLE_UPCHIRPS * sps;
+        let downchirp_start = sync_start + SYNC_SYMBOLS * sps;
+        let data_start = downchirp_start + DOWNCHIRP_QUARTERS * (sps / 4);
+        Self {
+            samples_per_symbol: sps,
+            sync_start,
+            downchirp_start,
+            data_start,
+        }
+    }
+
+    /// Total frame length in samples for `n_data` data symbols.
+    pub fn frame_len(&self, n_data: usize) -> usize {
+        self.data_start + n_data * self.samples_per_symbol
+    }
+
+    /// Sample offset of data symbol `k`.
+    pub fn data_symbol_start(&self, k: usize) -> usize {
+        self.data_start + k * self.samples_per_symbol
+    }
+
+    /// Preamble duration in symbols (12.25 with the default constants).
+    pub fn preamble_symbols(&self) -> f64 {
+        (PREAMBLE_UPCHIRPS + SYNC_SYMBOLS) as f64 + DOWNCHIRP_QUARTERS as f64 / 4.0
+    }
+}
+
+/// A packet modulator bound to one parameter set.
+pub struct Modulator {
+    table: ChirpTable,
+    layout: FrameLayout,
+    sync_x: usize,
+}
+
+impl Modulator {
+    /// Build a modulator with the default sync word.
+    pub fn new(params: LoraParams) -> Self {
+        Self::with_sync(params, DEFAULT_SYNC_X)
+    }
+
+    /// Build a modulator with sync symbols `C_x, C_{x+8}`.
+    ///
+    /// Panics if `x == 0` (the paper requires a non-zero sync to be
+    /// distinguishable from preamble up-chirps) or if `x + 8` overflows the
+    /// symbol range.
+    pub fn with_sync(params: LoraParams, x: usize) -> Self {
+        assert!(x != 0, "sync word x must be non-zero");
+        assert!(x + 8 < params.n_bins(), "sync word y = x+8 out of range");
+        Self {
+            table: ChirpTable::new(params),
+            layout: FrameLayout::new(&params),
+            sync_x: x,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &LoraParams {
+        self.table.params()
+    }
+
+    /// Frame geometry.
+    pub fn layout(&self) -> &FrameLayout {
+        &self.layout
+    }
+
+    /// Sync symbol values `(x, y)`.
+    pub fn sync_symbols(&self) -> (usize, usize) {
+        (self.sync_x, self.sync_x + 8)
+    }
+
+    /// Synthesize the complete unit-amplitude frame for `symbols`.
+    pub fn frame_waveform(&self, symbols: &[usize]) -> Vec<Cf32> {
+        let p = self.params();
+        let mut out = Vec::with_capacity(self.layout.frame_len(symbols.len()));
+        for _ in 0..PREAMBLE_UPCHIRPS {
+            out.extend_from_slice(self.table.up());
+        }
+        out.extend_from_slice(&crate::chirp::symbol_waveform(p, self.sync_x));
+        out.extend_from_slice(&crate::chirp::symbol_waveform(p, self.sync_x + 8));
+        out.extend_from_slice(self.table.down());
+        out.extend_from_slice(self.table.down());
+        out.extend_from_slice(self.table.quarter_down());
+        for &s in symbols {
+            out.extend_from_slice(&crate::chirp::symbol_waveform(p, s));
+        }
+        debug_assert_eq!(out.len(), self.layout.frame_len(symbols.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demod::Demodulator;
+
+    fn modulator() -> Modulator {
+        Modulator::new(LoraParams::new(8, 250e3, 4).unwrap())
+    }
+
+    #[test]
+    fn layout_offsets() {
+        let m = modulator();
+        let sps = 1024;
+        assert_eq!(m.layout().sync_start, 8 * sps);
+        assert_eq!(m.layout().downchirp_start, 10 * sps);
+        assert_eq!(m.layout().data_start, 10 * sps + 9 * sps / 4);
+        assert_eq!(m.layout().preamble_symbols(), 12.25);
+    }
+
+    #[test]
+    fn frame_len_matches_layout() {
+        let m = modulator();
+        let w = m.frame_waveform(&[1, 2, 3]);
+        assert_eq!(w.len(), m.layout().frame_len(3));
+    }
+
+    #[test]
+    fn preamble_demodulates_to_zeros_and_sync() {
+        let m = modulator();
+        let d = Demodulator::new(*m.params());
+        let w = m.frame_waveform(&[]);
+        let sps = m.layout().samples_per_symbol;
+        for k in 0..PREAMBLE_UPCHIRPS {
+            let win = &w[k * sps..(k + 1) * sps];
+            assert_eq!(d.demodulate_symbol(win), Some(0), "preamble symbol {k}");
+        }
+        let sync0 = &w[m.layout().sync_start..m.layout().sync_start + sps];
+        let sync1 = &w[m.layout().sync_start + sps..m.layout().sync_start + 2 * sps];
+        assert_eq!(d.demodulate_symbol(sync0), Some(DEFAULT_SYNC_X));
+        assert_eq!(d.demodulate_symbol(sync1), Some(DEFAULT_SYNC_X + 8));
+    }
+
+    #[test]
+    fn data_symbols_demodulate_back() {
+        let m = modulator();
+        let d = Demodulator::new(*m.params());
+        let symbols = vec![0usize, 255, 17, 128, 200, 1];
+        let w = m.frame_waveform(&symbols);
+        for (k, &s) in symbols.iter().enumerate() {
+            let a = m.layout().data_symbol_start(k);
+            let win = &w[a..a + m.layout().samples_per_symbol];
+            assert_eq!(d.demodulate_symbol(win), Some(s), "data symbol {k}");
+        }
+    }
+
+    #[test]
+    fn downchirp_section_detected_by_updechirp() {
+        let m = modulator();
+        let d = Demodulator::new(*m.params());
+        let w = m.frame_waveform(&[]);
+        let a = m.layout().downchirp_start;
+        let sps = m.layout().samples_per_symbol;
+        let spec = d.folded_spectrum(&d.updechirp(&w[a..a + sps]));
+        assert_eq!(spec.argmax().unwrap().0, 0);
+        assert!(spec[0] / spec.total_energy() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_sync_rejected() {
+        Modulator::with_sync(LoraParams::paper_default(), 0);
+    }
+
+    #[test]
+    fn unit_amplitude_frame() {
+        let m = modulator();
+        let w = m.frame_waveform(&[5, 6]);
+        for c in &w {
+            assert!((c.norm() - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text rendering of experiment results: fixed-width tables and
+//! ASCII plots that mirror the paper's figures, plus JSON export.
+
+use crate::figures::SweepRow;
+
+/// Render a capacity figure (Figs 28–31): rows = offered load, columns =
+/// schemes, cells = decoded pkt/s.
+pub fn capacity_table(title: &str, rows: &[SweepRow]) -> String {
+    sweep_table(title, rows, |r| format!("{:8.1}", r.throughput_pps))
+}
+
+/// Render a detection figure (Figs 32–35): cells = detection rate.
+pub fn detection_table(title: &str, rows: &[SweepRow]) -> String {
+    sweep_table(title, rows, |r| format!("{:7.1}%", 100.0 * r.detection_rate))
+}
+
+fn sweep_table(title: &str, rows: &[SweepRow], cell: impl Fn(&SweepRow) -> String) -> String {
+    let mut schemes: Vec<String> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    for r in rows {
+        if !schemes.contains(&r.scheme) {
+            schemes.push(r.scheme.clone());
+        }
+        if !rates.iter().any(|&x| x == r.rate_pps) {
+            rates.push(r.rate_pps);
+        }
+    }
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{:>10}", "load p/s"));
+    for s in &schemes {
+        out.push_str(&format!("{s:>16}"));
+    }
+    out.push('\n');
+    for &rate in &rates {
+        out.push_str(&format!("{rate:>10.0}"));
+        for s in &schemes {
+            match rows.iter().find(|r| r.rate_pps == rate && &r.scheme == s) {
+                Some(r) => out.push_str(&format!("{:>16}", cell(r))),
+                None => out.push_str(&format!("{:>16}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// ASCII rendering of a spectrum: `width` columns of bar heights, useful
+/// for the Fig 12–14 demo binaries.
+pub fn spectrum_ascii(spec: &lora_dsp::Spectrum, width: usize, height: usize) -> String {
+    let n = spec.len().max(1);
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * n / width;
+            let hi = ((c + 1) * n / width).max(lo + 1);
+            (lo..hi).map(|i| spec[i]).fold(0.0, f64::max)
+        })
+        .collect();
+    let max = cols.iter().cloned().fold(1e-30, f64::max);
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let level = (row as f64 + 0.5) / height as f64;
+        for &c in &cols {
+            out.push(if c / max >= level { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Serialise any result set to pretty JSON (for archiving runs).
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("results serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(rate: f64, scheme: &str, tput: f64) -> SweepRow {
+        SweepRow {
+            rate_pps: rate,
+            scheme: scheme.to_string(),
+            throughput_pps: tput,
+            detection_rate: 0.5,
+            transmitted: 10,
+            decoded: 5,
+        }
+    }
+
+    #[test]
+    fn table_has_all_schemes_and_rates() {
+        let rows = vec![
+            row(5.0, "CIC", 4.0),
+            row(5.0, "LoRa", 2.0),
+            row(50.0, "CIC", 30.0),
+            row(50.0, "LoRa", 6.0),
+        ];
+        let t = capacity_table("Fig 28", &rows);
+        assert!(t.contains("CIC") && t.contains("LoRa"));
+        assert!(t.contains("30.0") && t.contains("6.0"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn missing_cells_render_dash() {
+        let rows = vec![row(5.0, "CIC", 4.0), row(50.0, "LoRa", 6.0)];
+        let t = capacity_table("x", &rows);
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn ascii_spectrum_peaks_tallest() {
+        let mut bins = vec![0.1; 64];
+        bins[32] = 10.0;
+        let spec = lora_dsp::Spectrum::from_power(bins);
+        let art = spectrum_ascii(&spec, 32, 8);
+        // The top row must contain exactly one column (the peak).
+        let top = art.lines().next().unwrap();
+        assert_eq!(top.matches('#').count(), 1);
+    }
+
+    #[test]
+    fn detection_table_percent() {
+        let rows = vec![row(5.0, "CIC", 4.0)];
+        let t = detection_table("d", &rows);
+        assert!(t.contains("50.0%"));
+    }
+}

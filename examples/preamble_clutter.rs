@@ -1,0 +1,79 @@
+//! Reproduces the paper's Figs 19–20: why CIC detects packets with
+//! down-chirps. A new packet's preamble arrives while five other
+//! transmissions are on the air; the conventional up-chirp correlation
+//! sees a clutter of peaks (every ongoing data symbol is an up-chirp),
+//! the down-chirp correlation sees only the new packet.
+//!
+//! ```sh
+//! cargo run --release --example preamble_clutter
+//! ```
+
+use lora_channel::{amplitude_for_snr, superpose, Emission};
+use lora_phy::{CodeRate, Demodulator, LoraParams, Transceiver};
+use lora_sim::report::spectrum_ascii;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let params = LoraParams::paper_default();
+    let tx = Transceiver::new(params, CodeRate::Cr45);
+    let sps = params.samples_per_symbol();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Five ongoing transmissions, random offsets, plus one new packet
+    // whose preamble starts at a known spot.
+    let mut emissions = Vec::new();
+    for i in 0..5 {
+        let payload: Vec<u8> = (0..28).map(|_| rng.random()).collect();
+        emissions.push(Emission {
+            waveform: tx.waveform(&payload),
+            amplitude: amplitude_for_snr(25.0, params.oversampling()),
+            start_sample: rng.random_range(0..(4 * sps)) + i,
+            cfo_hz: rng.random_range(-2000.0..2000.0),
+        });
+    }
+    let new_start = 20 * sps + 300;
+    let payload: Vec<u8> = (0..28).map(|_| rng.random()).collect();
+    emissions.push(Emission {
+        waveform: tx.waveform(&payload),
+        amplitude: amplitude_for_snr(25.0, params.oversampling()),
+        start_sample: new_start,
+        cfo_hz: 700.0,
+    });
+    let capture = superpose(
+        &params,
+        emissions
+            .iter()
+            .map(|e| e.start_sample + e.waveform.len())
+            .max()
+            .unwrap(),
+        &emissions,
+    );
+
+    let demod = Demodulator::new(params);
+    // Window over the new packet's *preamble* (up-chirps): the up-chirp
+    // detector de-chirps here.
+    let w_up = &capture[new_start + sps..new_start + 2 * sps];
+    // Window over the new packet's down-chirps.
+    let dc = new_start + lora_phy::modulate::FrameLayout::new(&params).downchirp_start;
+    let w_down = &capture[dc..dc + sps];
+
+    println!("Fig 19 — up-chirp (conventional) detection spectrum:");
+    println!("every ongoing data symbol is an up-chirp too -> clutter\n");
+    let s_up = demod.folded_spectrum(&demod.dechirp(w_up)).normalized();
+    print!("{}", spectrum_ascii(&s_up, 96, 9));
+    let peaks_up = lora_dsp::find_peaks(&s_up, 8.0, 2);
+    println!("peaks above threshold: {}\n", peaks_up.len());
+
+    println!("Fig 20 — down-chirp (CIC) detection spectrum:");
+    println!("data up-chirps smear; only the new packet's down-chirp rings\n");
+    let s_down = demod.folded_spectrum(&demod.updechirp(w_down)).normalized();
+    print!("{}", spectrum_ascii(&s_down, 96, 9));
+    let peaks_down = lora_dsp::find_peaks(&s_down, 8.0, 2);
+    println!("peaks above threshold: {}", peaks_down.len());
+
+    assert!(
+        peaks_down.len() < peaks_up.len(),
+        "down-chirp detection should see less clutter"
+    );
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the CIC reproduction workspace.
+//!
+//! Re-exports every sub-crate so root-level examples and integration tests
+//! can reach the whole system through one dependency. See `README.md` for
+//! the architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use cic;
+pub use lora_baselines;
+pub use lora_channel;
+pub use lora_dsp;
+pub use lora_phy;
+pub use lora_sim;

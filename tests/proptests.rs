@@ -1,0 +1,199 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use cic_repro::lora_dsp::{intersect, Spectrum};
+use lora_phy::encode::{gray, hamming, interleave, whitening, Codec};
+use lora_phy::params::{CodeRate, LoraParams, SpreadingFactor};
+use proptest::prelude::*;
+
+fn code_rates() -> impl Strategy<Value = CodeRate> {
+    prop_oneof![
+        Just(CodeRate::Cr45),
+        Just(CodeRate::Cr46),
+        Just(CodeRate::Cr47),
+        Just(CodeRate::Cr48),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- coding chain -------------------------------------------------
+
+    #[test]
+    fn codec_roundtrips_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+        sf in 7u8..=12,
+        cr in code_rates(),
+    ) {
+        let codec = Codec::new(SpreadingFactor::new(sf).unwrap(), cr);
+        let symbols = codec.encode(&payload);
+        prop_assert_eq!(symbols.len(), codec.n_symbols(payload.len()));
+        let (out, stats) = codec.decode(&symbols, payload.len()).unwrap();
+        prop_assert_eq!(out, payload);
+        prop_assert_eq!(stats.corrected, 0);
+    }
+
+    #[test]
+    fn codec_detects_any_single_symbol_corruption_at_cr45(
+        payload in proptest::collection::vec(any::<u8>(), 4..32),
+        idx_seed in any::<usize>(),
+        flip in 1usize..256,
+    ) {
+        // CR 4/5 detects but cannot correct: a corrupted symbol must never
+        // produce a *wrong* accepted payload (CRC catches what FEC misses).
+        let codec = Codec::new(SpreadingFactor::new(8).unwrap(), CodeRate::Cr45);
+        let mut symbols = codec.encode(&payload);
+        let idx = idx_seed % symbols.len();
+        symbols[idx] = (symbols[idx] + flip) % 256;
+        match codec.decode(&symbols, payload.len()) {
+            Ok((out, _)) => prop_assert_eq!(out, payload),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn cr48_corrects_any_single_corrupted_symbol(
+        payload in proptest::collection::vec(any::<u8>(), 4..32),
+        idx_seed in any::<usize>(),
+        flip in 1usize..256,
+    ) {
+        let codec = Codec::new(SpreadingFactor::new(8).unwrap(), CodeRate::Cr48);
+        let mut symbols = codec.encode(&payload);
+        let idx = idx_seed % symbols.len();
+        symbols[idx] = (symbols[idx] + flip) % 256;
+        // One corrupted symbol spreads at most 1 bit per codeword
+        // (diagonal interleaving), which Hamming(8,4) corrects.
+        let (out, _) = codec.decode(&symbols, payload.len()).unwrap();
+        prop_assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn whitening_is_involution(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = data.clone();
+        whitening::whiten(&mut buf);
+        whitening::whiten(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn gray_bijective(n_bits in 7usize..=12, v in any::<usize>()) {
+        let n = 1usize << n_bits;
+        let v = v % n;
+        prop_assert_eq!(gray::symbol_to_data(gray::data_to_symbol(v, n), n), v);
+    }
+
+    #[test]
+    fn hamming_roundtrip_and_single_error(
+        nib in 0u8..16,
+        cr in code_rates(),
+        bit in 0usize..8,
+    ) {
+        let cw = hamming::encode_nibble(nib, cr);
+        let (out, status) = hamming::decode_codeword(cw, cr);
+        prop_assert_eq!(out, nib);
+        prop_assert_eq!(status, hamming::DecodeStatus::Clean);
+        // Any in-range single-bit flip must at least be noticed by 4/7+.
+        if bit < cr.codeword_bits() {
+            let (out2, status2) = hamming::decode_codeword(cw ^ (1 << bit), cr);
+            match cr {
+                CodeRate::Cr47 | CodeRate::Cr48 => {
+                    prop_assert_eq!(out2, nib);
+                    prop_assert_eq!(status2, hamming::DecodeStatus::Corrected);
+                }
+                _ => prop_assert_ne!(status2, hamming::DecodeStatus::Clean),
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_roundtrips(
+        sf in 7usize..=12,
+        cr in code_rates(),
+        seed in any::<u64>(),
+    ) {
+        let cw_bits = cr.codeword_bits();
+        let mask = ((1u16 << cw_bits) - 1) as u8;
+        let cws: Vec<u8> = (0..sf)
+            .map(|i| ((seed >> (i % 56)) as u8).wrapping_mul(31).wrapping_add(i as u8) & mask)
+            .collect();
+        let syms = interleave::interleave_block(&cws, sf, cw_bits);
+        for &s in &syms {
+            prop_assert!(s < (1 << sf));
+        }
+        prop_assert_eq!(interleave::deinterleave_block(&syms, sf, cw_bits), cws);
+    }
+
+    // ---- modulation ---------------------------------------------------
+
+    #[test]
+    fn any_symbol_demodulates_to_itself(s in 0usize..256) {
+        let p = LoraParams::new(8, 250e3, 2).unwrap();
+        let demod = lora_phy::Demodulator::new(p);
+        let w = lora_phy::chirp::symbol_waveform(&p, s);
+        prop_assert_eq!(demod.demodulate_symbol(&w), Some(s));
+    }
+
+    // ---- spectral intersection ----------------------------------------
+
+    #[test]
+    fn intersection_le_inputs(
+        a in proptest::collection::vec(0.0f64..1e6, 32),
+        b in proptest::collection::vec(0.0f64..1e6, 32),
+    ) {
+        let sa = Spectrum::from_power(a.clone());
+        let sb = Spectrum::from_power(b.clone());
+        let i = intersect::spectral_intersection(&sa, &sb);
+        for k in 0..32 {
+            prop_assert!(i[k] <= a[k] && i[k] <= b[k]);
+            prop_assert!(i[k] == a[k] || i[k] == b[k]);
+        }
+    }
+
+    #[test]
+    fn intersection_commutative_associative(
+        a in proptest::collection::vec(0.0f64..1e3, 16),
+        b in proptest::collection::vec(0.0f64..1e3, 16),
+        c in proptest::collection::vec(0.0f64..1e3, 16),
+    ) {
+        let (sa, sb, sc) = (
+            Spectrum::from_power(a),
+            Spectrum::from_power(b),
+            Spectrum::from_power(c),
+        );
+        let ab = intersect::spectral_intersection(&sa, &sb);
+        let ba = intersect::spectral_intersection(&sb, &sa);
+        prop_assert_eq!(&ab, &ba);
+        let ab_c = intersect::spectral_intersection(&ab, &sc);
+        let bc = intersect::spectral_intersection(&sb, &sc);
+        let a_bc = intersect::spectral_intersection(&sa, &bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    // ---- ICSS construction --------------------------------------------
+
+    #[test]
+    fn optimal_icss_always_cancels_every_interferer(
+        taus in proptest::collection::vec(64usize..960, 0..6),
+    ) {
+        let b = cic::Boundaries::new(1024, taus);
+        let icss = cic::icss::optimal_icss(&b, 16);
+        prop_assert!(cic::icss::cancels_all(&icss, &b));
+        // The full window is always a member (max resolution for f1).
+        prop_assert!(icss
+            .iter()
+            .any(|r| r.start == 0 && r.end == 1024));
+    }
+
+    #[test]
+    fn consecutive_subsymbols_partition_window(
+        taus in proptest::collection::vec(1usize..1024, 0..8),
+    ) {
+        let b = cic::Boundaries::new(1024, taus);
+        let subs = b.consecutive_subsymbols();
+        let total: usize = subs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, 1024);
+        for w in subs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+}

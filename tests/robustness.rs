@@ -1,0 +1,148 @@
+//! Robustness: every receiver must survive degenerate and adversarial
+//! inputs without panicking — and without inventing packets.
+
+use cic::{CicConfig, CicReceiver, StreamingReceiver};
+use cic_repro::lora_baselines::{
+    ChoirReceiver, CollisionReceiver, ColoraReceiver, FtrackReceiver, MLoraReceiver,
+    StandardReceiver,
+};
+use lora_dsp::Cf32;
+use lora_phy::{CodeRate, LoraParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn params() -> LoraParams {
+    LoraParams::paper_default()
+}
+
+fn all_receivers() -> Vec<Box<dyn CollisionReceiver>> {
+    let p = params();
+    vec![
+        Box::new(StandardReceiver::new(p, CodeRate::Cr45, 16)),
+        Box::new(ChoirReceiver::new(p, CodeRate::Cr45, 16)),
+        Box::new(FtrackReceiver::new(p, CodeRate::Cr45, 16)),
+        Box::new(MLoraReceiver::new(p, CodeRate::Cr45, 16)),
+        Box::new(ColoraReceiver::new(p, CodeRate::Cr45, 16)),
+    ]
+}
+
+fn cic_rx() -> CicReceiver {
+    CicReceiver::new(params(), CodeRate::Cr45, 16, CicConfig::default())
+}
+
+#[test]
+fn empty_capture() {
+    assert!(cic_rx().receive(&[]).is_empty());
+    for rx in all_receivers() {
+        assert!(rx.receive(&[]).is_empty(), "{}", rx.name());
+        assert!(rx.detect_starts(&[]).is_empty(), "{}", rx.name());
+    }
+}
+
+#[test]
+fn capture_shorter_than_one_symbol() {
+    let tiny = vec![Cf32::new(0.3, -0.1); 100];
+    assert!(cic_rx().receive(&tiny).is_empty());
+    for rx in all_receivers() {
+        assert!(rx.receive(&tiny).is_empty(), "{}", rx.name());
+    }
+}
+
+#[test]
+fn all_zero_capture() {
+    let zeros = vec![Cf32::new(0.0, 0.0); 200_000];
+    assert!(cic_rx().receive(&zeros).is_empty());
+    for rx in all_receivers() {
+        assert!(rx.receive(&zeros).is_empty(), "{}", rx.name());
+    }
+}
+
+#[test]
+fn dc_only_capture() {
+    // A constant carrier is not a LoRa packet.
+    let dc = vec![Cf32::new(5.0, 5.0); 150_000];
+    assert!(cic_rx().receive(&dc).is_empty());
+    for rx in all_receivers() {
+        assert!(rx.receive(&dc).is_empty(), "{}", rx.name());
+    }
+}
+
+#[test]
+fn strong_tone_capture() {
+    // A pure strong sinusoid (e.g. a co-channel FSK interferer).
+    let p = params();
+    let tone: Vec<Cf32> = (0..150_000)
+        .map(|i| {
+            Cf32::from_polar(
+                10.0,
+                (std::f32::consts::TAU * 40_000.0 * i as f32 / p.sample_rate_hz() as f32)
+                    % std::f32::consts::TAU,
+            )
+        })
+        .collect();
+    assert!(cic_rx().receive(&tone).is_empty());
+    for rx in all_receivers() {
+        assert!(rx.receive(&tone).is_empty(), "{}", rx.name());
+    }
+}
+
+#[test]
+fn pure_noise_yields_no_false_decodes() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let noise = cic_repro::lora_channel::awgn::noise_buffer(&mut rng, 400_000);
+    let pkts = cic_rx().receive(&noise);
+    assert!(
+        pkts.iter().all(|p| !p.ok()),
+        "CRC-valid packet decoded from pure noise"
+    );
+    for rx in all_receivers() {
+        let pkts = rx.receive(&noise);
+        assert!(
+            pkts.iter().all(|p| !p.ok()),
+            "{}: decoded a packet from noise",
+            rx.name()
+        );
+    }
+}
+
+#[test]
+fn saturated_noise_no_panic() {
+    // Clipped front-end: extreme amplitudes with hard sign structure.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut buf = cic_repro::lora_channel::awgn::noise_buffer(&mut rng, 120_000);
+    for c in &mut buf {
+        c.re = c.re.signum() * 1e6;
+        c.im = c.im.signum() * 1e6;
+    }
+    let _ = cic_rx().receive(&buf);
+    for rx in all_receivers() {
+        let _ = rx.receive(&buf);
+    }
+}
+
+#[test]
+fn streaming_garbage_chunks_no_panic() {
+    let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 16, CicConfig::default());
+    let mut rng = StdRng::seed_from_u64(6);
+    for len in [0usize, 1, 7, 1000, 50_000, 3] {
+        let chunk = cic_repro::lora_channel::awgn::noise_buffer(&mut rng, len);
+        for p in s.push(&chunk) {
+            assert!(!p.ok(), "decoded a packet from streamed noise");
+        }
+    }
+    let _ = s.flush();
+}
+
+#[test]
+fn truncated_packet_mid_preamble_no_panic() {
+    let p = params();
+    let tx = lora_phy::Transceiver::new(p, CodeRate::Cr45);
+    let wave = tx.waveform(&[9u8; 16]);
+    // Cut inside the preamble's down-chirps.
+    let cut = 11 * p.samples_per_symbol();
+    let capture = &wave[..cut];
+    let _ = cic_rx().receive(capture);
+    for rx in all_receivers() {
+        let _ = rx.receive(capture);
+    }
+}

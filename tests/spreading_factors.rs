@@ -1,0 +1,143 @@
+//! Cross-crate coverage of the SF/oversampling parameter space: the whole
+//! pipeline (PHY, channel, CIC) must be generic over SF 7–12 and any
+//! oversampling factor, not just the paper's SF 8 / 4x default.
+
+use cic::{CicConfig, CicReceiver};
+use cic_repro::lora_channel::{add_unit_noise, amplitude_for_snr, superpose, Emission};
+use lora_phy::{CodeRate, LoraParams, Transceiver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn roundtrip(sf: u8, bw: f64, os: usize, snr_db: f64, cfo_hz: f64, seed: u64) {
+    let p = LoraParams::new(sf, bw, os).unwrap();
+    let tx = Transceiver::new(p, CodeRate::Cr45);
+    let payload: Vec<u8> = (0..10).map(|i| i * 17 + sf).collect();
+    let wave = tx.waveform(&payload);
+    let start = 1500 + seed as usize % p.samples_per_symbol();
+    let mut cap = superpose(
+        &p,
+        start + wave.len() + 4 * p.samples_per_symbol(),
+        &[Emission {
+            waveform: wave,
+            amplitude: amplitude_for_snr(snr_db, os),
+            start_sample: start,
+            cfo_hz,
+        }],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    add_unit_noise(&mut rng, &mut cap);
+    let rx = CicReceiver::new(p, CodeRate::Cr45, 10, CicConfig::default());
+    let pkts = rx.receive(&cap);
+    assert_eq!(pkts.len(), 1, "SF{sf} os{os}: detections");
+    assert_eq!(
+        pkts[0].payload.as_deref(),
+        Some(&payload[..]),
+        "SF{sf} os{os}"
+    );
+    assert!(pkts[0].detection.frame_start.abs_diff(start) <= os.max(2));
+}
+
+#[test]
+fn sf7_no_oversampling() {
+    roundtrip(7, 125e3, 1, 15.0, 400.0, 1);
+}
+
+#[test]
+fn sf7_high_oversampling() {
+    roundtrip(7, 125e3, 8, 12.0, -900.0, 2);
+}
+
+#[test]
+fn sf9_typical() {
+    roundtrip(9, 125e3, 2, 8.0, 1500.0, 3);
+}
+
+#[test]
+fn sf10_subnoise() {
+    // SF10 processing gain ~30 dB: decode at -8 dB.
+    roundtrip(10, 125e3, 2, -8.0, -2000.0, 4);
+}
+
+#[test]
+fn sf11_deep_subnoise() {
+    roundtrip(11, 125e3, 1, -10.0, 700.0, 5);
+}
+
+#[test]
+fn sf12_extreme() {
+    roundtrip(12, 125e3, 1, -12.0, -300.0, 6);
+}
+
+#[test]
+fn sf8_wide_bandwidth() {
+    roundtrip(8, 500e3, 2, 14.0, 2500.0, 7);
+}
+
+#[test]
+fn collision_at_sf7() {
+    // Two colliding packets at SF7/os2: the CIC machinery must not
+    // depend on SF8-specific constants.
+    let p = LoraParams::new(7, 125e3, 2).unwrap();
+    let tx = Transceiver::new(p, CodeRate::Cr45);
+    let sps = p.samples_per_symbol();
+    let pl1: Vec<u8> = (0..10).collect();
+    let pl2: Vec<u8> = (10..20).collect();
+    let a = amplitude_for_snr(20.0, p.oversampling());
+    let s2 = 14 * sps + sps / 3;
+    let w2 = tx.waveform(&pl2);
+    let mut cap = superpose(
+        &p,
+        s2 + w2.len() + 2 * sps,
+        &[
+            Emission {
+                waveform: tx.waveform(&pl1),
+                amplitude: a,
+                start_sample: 0,
+                cfo_hz: 800.0,
+            },
+            Emission {
+                waveform: w2,
+                amplitude: a,
+                start_sample: s2,
+                cfo_hz: -1200.0,
+            },
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(8);
+    add_unit_noise(&mut rng, &mut cap);
+    let rx = CicReceiver::new(p, CodeRate::Cr45, 10, CicConfig::default());
+    let pkts = rx.receive(&cap);
+    assert_eq!(pkts.len(), 2);
+    assert!(
+        pkts.iter().filter(|q| q.ok()).count() >= 1,
+        "at least one packet of the SF7 collision must decode: {pkts:?}"
+    );
+}
+
+#[test]
+fn single_pass_config_still_decodes() {
+    let p = LoraParams::paper_default();
+    let tx = Transceiver::new(p, CodeRate::Cr45);
+    let payload: Vec<u8> = (0..10).collect();
+    let wave = tx.waveform(&payload);
+    let mut cap = superpose(
+        &p,
+        wave.len() + 8192,
+        &[Emission {
+            waveform: wave,
+            amplitude: amplitude_for_snr(20.0, p.oversampling()),
+            start_sample: 4096,
+            cfo_hz: 0.0,
+        }],
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    add_unit_noise(&mut rng, &mut cap);
+    let cfg = CicConfig {
+        decode_passes: 1,
+        ..CicConfig::default()
+    };
+    let rx = CicReceiver::new(p, CodeRate::Cr45, 10, cfg);
+    let pkts = rx.receive(&cap);
+    assert_eq!(pkts.len(), 1);
+    assert!(pkts[0].ok());
+}
