@@ -114,9 +114,9 @@ impl CollisionReceiver for ChoirReceiver {
         let mut out: Vec<RxPacket> = Vec::new();
         for det in upchirp_scan(&demod, capture, DETECT_THRESHOLD) {
             if let Some(est) = refine_frame(&demod, &self.layout, capture, det.frame_start) {
-                let dup = out
-                    .iter()
-                    .any(|p| p.frame_start.abs_diff(est.frame_start) < self.params.samples_per_symbol() / 2);
+                let dup = out.iter().any(|p| {
+                    p.frame_start.abs_diff(est.frame_start) < self.params.samples_per_symbol() / 2
+                });
                 if !dup {
                     out.push(self.decode_packet(&demod, capture, &est));
                 }
@@ -213,7 +213,7 @@ mod tests {
                 },
             ],
         );
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = StdRng::seed_from_u64(2);
         add_unit_noise(&mut rng, &mut cap);
         let rx = ChoirReceiver::new(p, CodeRate::Cr45, 12);
         let pkts = rx.receive(&cap);

@@ -133,10 +133,9 @@ impl CollisionReceiver for MLoraReceiver {
                 else {
                     continue;
                 };
-                if out
-                    .iter()
-                    .any(|p| p.frame_start.abs_diff(est.frame_start) < self.params.samples_per_symbol() / 2)
-                {
+                if out.iter().any(|p| {
+                    p.frame_start.abs_diff(est.frame_start) < self.params.samples_per_symbol() / 2
+                }) {
                     continue;
                 }
                 let (symbols, payload) =
@@ -265,7 +264,10 @@ mod tests {
         let rx = MLoraReceiver::new(p, CodeRate::Cr45, 12);
         let pkts = rx.receive(&cap);
         let ok = pkts.iter().filter(|q| q.ok()).count();
-        assert!(ok >= 1, "SIC must decode at least the strong packet: {pkts:?}");
+        assert!(
+            ok >= 1,
+            "SIC must decode at least the strong packet: {pkts:?}"
+        );
         let strong_pkt = pkts.iter().find(|q| q.frame_start < 1000).unwrap();
         assert_eq!(strong_pkt.payload.as_deref(), Some(&payload(1)[..]));
     }

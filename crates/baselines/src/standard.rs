@@ -39,7 +39,8 @@ impl StandardReceiver {
     }
 
     fn frame_len(&self) -> usize {
-        self.layout.frame_len(self.codec.n_symbols(self.payload_len))
+        self.layout
+            .frame_len(self.codec.n_symbols(self.payload_len))
     }
 }
 

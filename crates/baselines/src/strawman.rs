@@ -33,7 +33,9 @@ impl StrawmanDemodulator {
 
     /// Demodulate by argmax of the strawman spectrum.
     pub fn demodulate(&self, dechirped: &[Cf32], boundaries: &Boundaries) -> Option<usize> {
-        self.spectrum(dechirped, boundaries).argmax().map(|(b, _)| b)
+        self.spectrum(dechirped, boundaries)
+            .argmax()
+            .map(|(b, _)| b)
     }
 
     /// Access the underlying de-chirping demodulator.

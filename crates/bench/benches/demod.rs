@@ -42,7 +42,10 @@ fn collision_window(params: &LoraParams, n_interferers: usize) -> (Vec<Cf32>, Bo
         });
         taus.push(tau);
     }
-    (superpose(params, sps, &emissions), Boundaries::new(sps, taus))
+    (
+        superpose(params, sps, &emissions),
+        Boundaries::new(sps, taus),
+    )
 }
 
 fn bench_demod(c: &mut Criterion) {

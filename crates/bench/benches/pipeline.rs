@@ -49,9 +49,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("receiver");
     group.sample_size(10);
     group.throughput(Throughput::Elements(cap.len() as u64));
-    group.bench_function("preamble_scan", |b| {
-        b.iter(|| rx.detect(black_box(&cap)))
-    });
+    group.bench_function("preamble_scan", |b| b.iter(|| rx.detect(black_box(&cap))));
     group.bench_function("full_receive_2pkt_collision", |b| {
         b.iter(|| rx.receive(black_box(&cap)))
     });
@@ -59,7 +57,9 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("phy");
     let tx = Transceiver::new(params, CodeRate::Cr45);
-    group.bench_function("encode_28B", |b| b.iter(|| tx.encode(black_box(&[7u8; 28]))));
+    group.bench_function("encode_28B", |b| {
+        b.iter(|| tx.encode(black_box(&[7u8; 28])))
+    });
     group.bench_function("waveform_28B", |b| {
         b.iter(|| tx.waveform(black_box(&[7u8; 28])))
     });

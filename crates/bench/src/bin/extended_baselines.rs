@@ -16,7 +16,10 @@ fn main() {
         cli.scale.duration_s, cli.scale.seed
     );
     let mut all_rows = Vec::new();
-    for kind in [DeploymentKind::D1IndoorLos, DeploymentKind::D4OutdoorSubnoise] {
+    for kind in [
+        DeploymentKind::D1IndoorLos,
+        DeploymentKind::D4OutdoorSubnoise,
+    ] {
         let rows = capacity_sweep(kind, &Scheme::EXTENDED_SET, &cli.scale);
         println!(
             "{}",
@@ -27,10 +30,7 @@ fn main() {
         );
         println!(
             "{}",
-            detection_table(
-                &format!("{} — packet detection rate", kind.label()),
-                &rows
-            )
+            detection_table(&format!("{} — packet detection rate", kind.label()), &rows)
         );
         all_rows.extend(rows);
     }

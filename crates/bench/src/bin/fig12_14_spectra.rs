@@ -6,7 +6,10 @@ use lora_sim::figures::fig12_14_spectra;
 use lora_sim::report::spectrum_ascii;
 
 fn main() {
-    repro_bench::banner("Figs 12-14", "collision spectra: standard vs strawman vs CIC");
+    repro_bench::banner(
+        "Figs 12-14",
+        "collision spectra: standard vs strawman vs CIC",
+    );
     let params = LoraParams::paper_default();
     let (standard, strawman, cic, true_bin) = fig12_14_spectra(&params, 99);
     for (name, spec) in [

@@ -9,7 +9,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn main() {
-    repro_bench::banner("Figs 19-20", "up-chirp vs down-chirp preamble detection clutter");
+    repro_bench::banner(
+        "Figs 19-20",
+        "up-chirp vs down-chirp preamble detection clutter",
+    );
     let params = LoraParams::paper_default();
     let tx = Transceiver::new(params, CodeRate::Cr45);
     let sps = params.samples_per_symbol();

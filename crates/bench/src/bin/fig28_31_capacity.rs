@@ -30,7 +30,11 @@ fn main() {
         println!(
             "{}",
             capacity_table(
-                &format!("{fig} — {} ({}) — decoded pkt/s", kind.label(), kind.description()),
+                &format!(
+                    "{fig} — {} ({}) — decoded pkt/s",
+                    kind.label(),
+                    kind.description()
+                ),
                 &rows
             )
         );

@@ -1,0 +1,191 @@
+//! Gateway throughput benchmark: wideband samples/sec, decoded
+//! packets/sec and drop rate as a function of the decode worker count,
+//! written to `BENCH_gateway.json`.
+//!
+//! One Poisson capture (4 channels × {SF7, SF9}) is synthesised once and
+//! replayed through a fresh [`lora_gateway::Gateway`] per configuration.
+//! The pool always has one streaming receiver per (channel, SF); the
+//! scaling knob is [`cic::CicConfig::decode_threads`], the per-receiver
+//! packet-decode parallelism, so total OS decode threads =
+//! `channels × SFs × decode_threads`.
+//!
+//! Usage: `gateway_throughput [--duration <s>] [--seed <n>] [--rate <pps>]
+//! [--out <path>]`
+
+use std::time::Instant;
+
+use cic::CicConfig;
+use lora_channel::wideband::{generate_traffic, BandPlan, TrafficConfig};
+use lora_channel::{add_unit_noise, amplitude_for_snr};
+use lora_dsp::ChannelizerConfig;
+use lora_gateway::{Gateway, GatewayConfig};
+use lora_phy::params::CodeRate;
+use lora_sim::json_object;
+use lora_sim::JsonValue;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PAYLOAD_LEN: usize = 16;
+const SFS: [u8; 2] = [7, 9];
+const CHUNK: usize = 1 << 14;
+
+struct Opts {
+    duration_s: f64,
+    seed: u64,
+    rate_pps: f64,
+    out: String,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\n\
+         usage: gateway_throughput [--duration <s>] [--rate <pps>] [--seed <n>] [--out <path>]\n\
+         defaults: duration 0.25s, rate 45 pps, seed 11, out BENCH_gateway.json"
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        duration_s: 0.25,
+        seed: 11,
+        rate_pps: 45.0,
+        out: "BENCH_gateway.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--duration" => {
+                o.duration_s = next("--duration")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--duration needs a number"));
+                if o.duration_s <= 0.0 {
+                    usage("--duration must be positive");
+                }
+            }
+            "--seed" => {
+                o.seed = next("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--rate" => {
+                o.rate_pps = next("--rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--rate needs a number"));
+                if o.rate_pps <= 0.0 {
+                    usage("--rate must be positive");
+                }
+            }
+            "--out" => o.out = next("--out"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    o
+}
+
+fn main() {
+    let opts = parse_opts();
+    repro_bench::banner("BENCH gateway", "multi-channel gateway throughput");
+
+    let plan = BandPlan::uniform(4, 250e3, 500e3, 4, 4);
+    let traffic = TrafficConfig {
+        n_nodes: 8,
+        sfs: SFS.to_vec(),
+        code_rate: CodeRate::Cr45,
+        rate_pps: opts.rate_pps,
+        duration_s: opts.duration_s,
+        payload_len: PAYLOAD_LEN,
+        amplitude_range: (
+            amplitude_for_snr(17.0, plan.oversampling),
+            amplitude_for_snr(24.0, plan.oversampling),
+        ),
+        cfo_range_hz: (-2000.0, 2000.0),
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut cap = generate_traffic(&mut rng, &plan, &traffic);
+    add_unit_noise(&mut rng, &mut cap.samples);
+    println!(
+        "capture: {} wideband samples ({:.3} s of air), {} transmissions\n",
+        cap.samples.len(),
+        cap.samples.len() as f64 / plan.wideband_rate_hz(),
+        cap.truth.len()
+    );
+
+    let pool_workers = plan.n_channels() * SFS.len();
+    let mut rows = Vec::new();
+    for decode_threads in [1usize, 2, 4] {
+        let config = GatewayConfig {
+            channelizer: ChannelizerConfig::uniform(
+                plan.n_channels(),
+                plan.bandwidth_hz,
+                500e3,
+                plan.bandwidth_hz * plan.oversampling as f64,
+                plan.decimation,
+            ),
+            oversampling: plan.oversampling,
+            sfs: SFS.to_vec(),
+            code_rate: CodeRate::Cr45,
+            payload_len: PAYLOAD_LEN,
+            cic: CicConfig {
+                decode_threads,
+                ..CicConfig::default()
+            },
+            queue_capacity: 256,
+        };
+        let mut gw = Gateway::new(config);
+        let t0 = Instant::now();
+        for chunk in cap.samples.chunks(CHUNK) {
+            gw.push(chunk);
+        }
+        let (packets, snap) = gw.finish();
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        let decoded_ok = packets.iter().filter(|p| p.packet.ok()).count();
+        let samples_per_sec = snap.samples_in as f64 / wall_s;
+        let packets_per_sec = decoded_ok as f64 / wall_s;
+        // Fraction of enqueued channel-rate samples shed by drop-oldest.
+        let enqueued = snap.samples_in / plan.decimation as u64 * SFS.len() as u64;
+        let drop_rate = snap.samples_dropped as f64 / enqueued.max(1) as f64;
+        println!(
+            "decode_threads {decode_threads} ({} OS threads): \
+             {samples_per_sec:.3e} samples/s, {packets_per_sec:.1} pkt/s, \
+             drop rate {drop_rate:.4}, decode mean {:.2} ms",
+            pool_workers * decode_threads,
+            snap.decode.mean_ns() / 1e6,
+        );
+        rows.push(json_object! {
+            "decode_threads" => decode_threads,
+            "total_decode_threads" => pool_workers * decode_threads,
+            "samples_per_sec" => samples_per_sec,
+            "packets_per_sec" => packets_per_sec,
+            "drop_rate" => drop_rate,
+            "wall_s" => wall_s,
+            "packets_released" => snap.packets_released,
+            "packets_decoded" => snap.packets_decoded,
+            "crc_failures" => snap.crc_failures,
+            "chunks_dropped" => snap.chunks_dropped,
+            "channelize_mean_ns" => snap.channelize.mean_ns(),
+            "decode_mean_ns" => snap.decode.mean_ns(),
+        });
+    }
+
+    let doc = json_object! {
+        "bench" => "gateway_throughput",
+        "wideband_rate_hz" => plan.wideband_rate_hz(),
+        "n_channels" => plan.n_channels(),
+        "sfs" => SFS.iter().map(|&s| s as usize).collect::<Vec<_>>(),
+        "pool_workers" => pool_workers,
+        "capture_samples" => cap.samples.len(),
+        "transmissions" => cap.truth.len(),
+        "rate_pps" => opts.rate_pps,
+        "duration_s" => opts.duration_s,
+        "seed" => opts.seed,
+        "rows" => JsonValue::Array(rows),
+    };
+    std::fs::write(&opts.out, doc.pretty() + "\n").expect("write BENCH_gateway.json");
+    println!("\nwrote {}", opts.out);
+}

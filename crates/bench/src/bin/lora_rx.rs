@@ -16,7 +16,6 @@
 //! cargo run --release -p repro-bench --bin lora_rx -- --selftest
 //! ```
 
-use lora_baselines::CollisionReceiver;
 use lora_dsp::Cf32;
 use lora_phy::params::{CodeRate, LoraParams};
 use lora_sim::Scheme;
@@ -178,7 +177,10 @@ fn main() {
         match &pkt.payload {
             Some(bytes) => {
                 let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
-                println!("#{i}: t={t_ms:9.3} ms  sample {:>9}  OK   {hex}", pkt.frame_start);
+                println!(
+                    "#{i}: t={t_ms:9.3} ms  sample {:>9}  OK   {hex}",
+                    pkt.frame_start
+                );
             }
             None => println!(
                 "#{i}: t={t_ms:9.3} ms  sample {:>9}  CRC/FEC failed",

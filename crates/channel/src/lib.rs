@@ -8,7 +8,10 @@
 //! * [`deployment`] — the four deployments D1–D4 with Fig 27's SNR bands;
 //! * [`traffic`] — Poisson packet arrivals (exponential inter-arrival);
 //! * [`mix`] — sample-accurate superposition of colliding transmissions
-//!   with per-transmitter amplitude, timing offset and CFO (paper Eqn 5).
+//!   with per-transmitter amplitude, timing offset and CFO (paper Eqn 5);
+//! * [`wideband`] — multi-channel band synthesis: packets generated at the
+//!   wideband rate, shifted onto their channel carriers and summed, the
+//!   stimulus for the `lora-gateway` runtime.
 
 pub mod awgn;
 pub mod deployment;
@@ -16,9 +19,11 @@ pub mod mix;
 pub mod pathloss;
 pub mod rng;
 pub mod traffic;
+pub mod wideband;
 
 pub use awgn::{add_noise, add_unit_noise, amplitude_for_snr, snr_db_for_amplitude};
 pub use deployment::{Deployment, DeploymentKind, Node, PAPER_NODE_COUNT};
 pub use mix::{superpose, superpose_drifting_into, superpose_into, DriftingEmission, Emission};
 pub use pathloss::PathLossModel;
 pub use traffic::{poisson_schedule, Arrival};
+pub use wideband::{BandPlan, TrafficConfig, WidebandCapture, WidebandPacket, WidebandTruth};

@@ -108,7 +108,7 @@ mod tests {
             start_sample: 10,
             cfo_hz: 1234.0,
         };
-        let plain = superpose(&p, w.len() + 100, &[e.clone()]);
+        let plain = superpose(&p, w.len() + 100, std::slice::from_ref(&e));
         let mut drift = vec![Cf32::new(0.0, 0.0); w.len() + 100];
         superpose_drifting_into(
             &p,

@@ -81,7 +81,7 @@ mod tests {
     fn all_nodes_participate_eventually() {
         let mut rng = StdRng::seed_from_u64(3);
         let sched = poisson_schedule(&mut rng, 20, 100.0, 60.0);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for a in &sched {
             seen[a.node] = true;
         }
@@ -101,7 +101,10 @@ mod tests {
         // Coefficient of variation of exponential inter-arrivals is 1.
         let mut rng = StdRng::seed_from_u64(5);
         let sched = poisson_schedule(&mut rng, 1, 200.0, 100.0);
-        let gaps: Vec<f64> = sched.windows(2).map(|w| w[1].time_s - w[0].time_s).collect();
+        let gaps: Vec<f64> = sched
+            .windows(2)
+            .map(|w| w[1].time_s - w[0].time_s)
+            .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         let cv = var.sqrt() / mean;

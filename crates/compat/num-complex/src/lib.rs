@@ -1,0 +1,316 @@
+//! Minimal offline reimplementation of the `num-complex` API surface used
+//! by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `num-complex` to this crate (see the root `Cargo.toml`). Only the
+//! operations the workspace actually calls are provided: construction,
+//! polar conversion, norms, conjugation, and the ring operations between
+//! complex values and real scalars, for `f32` and `f64`.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i*im` over `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex number.
+pub type Complex32 = Complex<f32>;
+/// Double-precision complex number.
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Build a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+}
+
+macro_rules! float_impls {
+    ($t:ty) => {
+        impl Complex<$t> {
+            /// The imaginary unit.
+            #[inline]
+            pub const fn i() -> Self {
+                Self::new(0.0, 1.0)
+            }
+
+            /// Build from polar coordinates `r * e^{i theta}`.
+            #[inline]
+            pub fn from_polar(r: $t, theta: $t) -> Self {
+                Self::new(r * theta.cos(), r * theta.sin())
+            }
+
+            /// Convert to polar coordinates `(r, theta)`.
+            #[inline]
+            pub fn to_polar(self) -> ($t, $t) {
+                (self.norm(), self.arg())
+            }
+
+            /// Squared magnitude `re^2 + im^2`.
+            #[inline]
+            pub fn norm_sqr(&self) -> $t {
+                self.re * self.re + self.im * self.im
+            }
+
+            /// Magnitude `sqrt(re^2 + im^2)`.
+            #[inline]
+            pub fn norm(&self) -> $t {
+                self.norm_sqr().sqrt()
+            }
+
+            /// Argument (phase angle) in radians.
+            #[inline]
+            pub fn arg(&self) -> $t {
+                self.im.atan2(self.re)
+            }
+
+            /// Complex conjugate.
+            #[inline]
+            pub fn conj(&self) -> Self {
+                Self::new(self.re, -self.im)
+            }
+
+            /// Complex exponential `e^{self}`.
+            #[inline]
+            pub fn exp(self) -> Self {
+                Self::from_polar(self.re.exp(), self.im)
+            }
+
+            /// Multiply by a real scalar.
+            #[inline]
+            pub fn scale(&self, k: $t) -> Self {
+                Self::new(self.re * k, self.im * k)
+            }
+
+            /// Multiplicative inverse `1 / self`.
+            #[inline]
+            pub fn inv(&self) -> Self {
+                let d = self.norm_sqr();
+                Self::new(self.re / d, -self.im / d)
+            }
+        }
+
+        impl Add for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self::new(self.re + rhs.re, self.im + rhs.im)
+            }
+        }
+
+        impl Sub for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self::new(self.re - rhs.re, self.im - rhs.im)
+            }
+        }
+
+        impl Mul for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Self::new(
+                    self.re * rhs.re - self.im * rhs.im,
+                    self.re * rhs.im + self.im * rhs.re,
+                )
+            }
+        }
+
+        impl Div for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn div(self, rhs: Self) -> Self {
+                self * rhs.inv()
+            }
+        }
+
+        impl Mul<$t> for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn mul(self, k: $t) -> Self {
+                self.scale(k)
+            }
+        }
+
+        impl Div<$t> for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn div(self, k: $t) -> Self {
+                Self::new(self.re / k, self.im / k)
+            }
+        }
+
+        impl Mul<Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            #[inline]
+            fn mul(self, c: Complex<$t>) -> Complex<$t> {
+                c.scale(self)
+            }
+        }
+
+        impl Neg for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn neg(self) -> Self {
+                Self::new(-self.re, -self.im)
+            }
+        }
+
+        impl AddAssign for Complex<$t> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.re += rhs.re;
+                self.im += rhs.im;
+            }
+        }
+
+        impl SubAssign for Complex<$t> {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.re -= rhs.re;
+                self.im -= rhs.im;
+            }
+        }
+
+        impl MulAssign for Complex<$t> {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl MulAssign<$t> for Complex<$t> {
+            #[inline]
+            fn mul_assign(&mut self, k: $t) {
+                self.re *= k;
+                self.im *= k;
+            }
+        }
+
+        impl DivAssign<$t> for Complex<$t> {
+            #[inline]
+            fn div_assign(&mut self, k: $t) {
+                self.re /= k;
+                self.im /= k;
+            }
+        }
+
+        impl From<$t> for Complex<$t> {
+            #[inline]
+            fn from(re: $t) -> Self {
+                Self::new(re, 0.0)
+            }
+        }
+
+        impl Sum for Complex<$t> {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::new(0.0, 0.0), |a, b| a + b)
+            }
+        }
+
+        impl<'a> Sum<&'a Complex<$t>> for Complex<$t> {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(Self::new(0.0, 0.0), |a, b| a + *b)
+            }
+        }
+
+        // Reference variants so expressions over iterator items (`&C op &C`,
+        // `&C op C`, `C op &C`) work as they do with the real crate.
+        float_impls!(@refs Add add $t);
+        float_impls!(@refs Sub sub $t);
+        float_impls!(@refs Mul mul $t);
+        float_impls!(@refs Div div $t);
+    };
+    (@refs $tr:ident $m:ident $t:ty) => {
+        impl $tr<Complex<$t>> for &Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $m(self, rhs: Complex<$t>) -> Complex<$t> {
+                (*self).$m(rhs)
+            }
+        }
+        impl $tr<&Complex<$t>> for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $m(self, rhs: &Complex<$t>) -> Complex<$t> {
+                self.$m(*rhs)
+            }
+        }
+        impl $tr<&Complex<$t>> for &Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $m(self, rhs: &Complex<$t>) -> Complex<$t> {
+                (*self).$m(*rhs)
+            }
+        }
+    };
+}
+
+float_impls!(f32);
+float_impls!(f64);
+
+impl<T: std::fmt::Display> std::fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{}i", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polar_roundtrip() {
+        let c = Complex32::from_polar(2.0, 0.7);
+        let (r, th) = c.to_polar();
+        assert!((r - 2.0).abs() < 1e-6);
+        assert!((th - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_ops() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        assert_eq!(a + b, Complex32::new(4.0, 1.0));
+        assert_eq!(a - b, Complex32::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex32::new(5.0, 5.0));
+        let q = (a / b) * b;
+        assert!((q - a).norm() < 1e-6);
+        assert_eq!(a * 2.0, Complex32::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+    }
+
+    #[test]
+    fn norm_and_conj() {
+        let c = Complex64::new(3.0, 4.0);
+        assert!((c.norm() - 5.0).abs() < 1e-12);
+        assert!((c.norm_sqr() - 25.0).abs() < 1e-12);
+        assert_eq!(c.conj(), Complex64::new(3.0, -4.0));
+        assert!(((c * c.conj()).re - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut c = Complex32::new(1.0, 1.0);
+        c += Complex32::new(1.0, 0.0);
+        c *= 2.0;
+        assert_eq!(c, Complex32::new(4.0, 2.0));
+        c *= Complex32::i();
+        assert_eq!(c, Complex32::new(-2.0, 4.0));
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let v = vec![Complex32::new(1.0, 0.0); 4];
+        let s: Complex32 = v.iter().sum();
+        assert_eq!(s, Complex32::new(4.0, 0.0));
+    }
+}

@@ -1,0 +1,324 @@
+//! Minimal offline reimplementation of the `rand` API surface used by this
+//! workspace (the build environment has no crates.io access): a seedable
+//! `StdRng`, the `Rng` core trait, and the `RngExt` extension providing
+//! `random()` / `random_range()` / `random_bool()`.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for simulation use and deterministic per seed, but NOT the same
+//! stream as the real crate's `StdRng` (seeded tests in this workspace
+//! assert physical behaviour, not exact draws) and NOT cryptographically
+//! secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sampling conveniences over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Sample a value uniformly over `T`'s natural domain (`[0, 1)` for
+    /// floats, the full range for integers).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types sampleable from uniform bits without extra parameters.
+pub trait StandardUniform {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! int_standard {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges sampleable via [`RngExt::random_range`].
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); span is far below 2^63
+                // in every workspace use, so the bias of a plain modulo
+                // would already be negligible — this removes it entirely.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == hi {
+                    return lo;
+                }
+                (lo..hi + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = (0u64..span).sample_from(rng);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == hi {
+                    return lo;
+                }
+                (lo..hi + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+sint_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u: $t = <$t as StandardUniform>::sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed, expanding it deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion (the xoshiro authors' recommendation).
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_float_mean_is_half() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.random_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = r.random_range(7u8..=12);
+            assert!((7..=12).contains(&y));
+            let z = r.random_range(-3.0f64..5.0);
+            assert!((-3.0..5.0).contains(&z));
+            let w = r.random_range(-1000i64..-10);
+            assert!((-1000..-10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn u64_bits_look_uniform() {
+        // Each of the 64 bit positions should be set ~half the time.
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 10_000;
+        let mut counts = [0u32; 64];
+        for _ in 0..n {
+            let x = r.next_u64();
+            for (b, c) in counts.iter_mut().enumerate() {
+                *c += ((x >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.03, "bit {b}: {frac}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,322 @@
+//! Minimal offline reimplementation of the `rustfft` API surface used by
+//! this workspace: `FftPlanner<f32>` handing out `Arc<dyn Fft<f32>>` plans
+//! whose `process` computes an unscaled in-place DFT (inverse plans are
+//! unscaled too, matching rustfft's convention — callers divide by `N`).
+//!
+//! Power-of-two lengths use an iterative radix-2 Cooley–Tukey with a
+//! precomputed twiddle table; other lengths fall back to Bluestein's
+//! algorithm built on the radix-2 kernel. Scalar only — this trades
+//! rustfft's SIMD for zero external dependencies (the build environment
+//! has no crates.io access).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+pub use num_complex;
+use num_complex::Complex;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftDirection {
+    /// Forward DFT, `X[k] = sum_j x[j] e^{-2πijk/N}`.
+    Forward,
+    /// Inverse DFT (unscaled), `x[j] = sum_k X[k] e^{+2πijk/N}`.
+    Inverse,
+}
+
+/// A planned transform of a fixed length.
+pub trait Fft<T>: Send + Sync {
+    /// Compute the transform in place over `buffer` (length must equal
+    /// [`Fft::len`]).
+    fn process(&self, buffer: &mut [Complex<T>]);
+    /// The transform length this plan was built for.
+    fn len(&self) -> usize;
+    /// True for a zero-length plan (never produced by the planner).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plans transforms; caching is left to callers (as with rustfft, plans
+/// are cheap `Arc`s).
+pub struct FftPlanner<T> {
+    _marker: PhantomData<T>,
+}
+
+impl Default for FftPlanner<f32> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FftPlanner<f32> {
+    /// Create a planner.
+    pub fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+
+    /// Plan a forward DFT of length `n`.
+    pub fn plan_fft_forward(&mut self, n: usize) -> Arc<dyn Fft<f32>> {
+        plan(n, FftDirection::Forward)
+    }
+
+    /// Plan an (unscaled) inverse DFT of length `n`.
+    pub fn plan_fft_inverse(&mut self, n: usize) -> Arc<dyn Fft<f32>> {
+        plan(n, FftDirection::Inverse)
+    }
+}
+
+fn plan(n: usize, dir: FftDirection) -> Arc<dyn Fft<f32>> {
+    if n.is_power_of_two() {
+        Arc::new(Radix2::new(n, dir))
+    } else {
+        Arc::new(Bluestein::new(n, dir))
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey for power-of-two lengths.
+struct Radix2 {
+    n: usize,
+    /// `twiddles[k] = e^{sign * 2πik/n}` for `k < n/2`.
+    twiddles: Vec<Complex<f32>>,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+}
+
+impl Radix2 {
+    fn new(n: usize, dir: FftDirection) -> Self {
+        assert!(n.is_power_of_two());
+        let sign = match dir {
+            FftDirection::Forward => -1.0f64,
+            FftDirection::Inverse => 1.0f64,
+        };
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let ang = sign * std::f64::consts::TAU * k as f64 / n as f64;
+                Complex::new(ang.cos() as f32, ang.sin() as f32)
+            })
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        Self { n, twiddles, rev }
+    }
+}
+
+impl Fft<f32> for Radix2 {
+    fn process(&self, buf: &mut [Complex<f32>]) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length must match plan length");
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for base in (0..n).step_by(len) {
+                for j in 0..half {
+                    let w = self.twiddles[j * step];
+                    let a = buf[base + j];
+                    let b = buf[base + j + half] * w;
+                    buf[base + j] = a + b;
+                    buf[base + j + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Bluestein's algorithm: an arbitrary-length DFT as a circular
+/// convolution of power-of-two length `m >= 2n - 1`.
+struct Bluestein {
+    n: usize,
+    m: usize,
+    /// `chirp[j] = e^{sign * πi j^2 / n}`.
+    chirp: Vec<Complex<f32>>,
+    /// Forward FFT (length `m`) of the conjugate-chirp kernel.
+    kernel_fft: Vec<Complex<f32>>,
+    fwd: Radix2,
+    inv: Radix2,
+}
+
+impl Bluestein {
+    fn new(n: usize, dir: FftDirection) -> Self {
+        assert!(n > 0);
+        let sign = match dir {
+            FftDirection::Forward => -1.0f64,
+            FftDirection::Inverse => 1.0f64,
+        };
+        let m = (2 * n - 1).next_power_of_two();
+        // j^2 mod 2n keeps the angle argument small for numeric accuracy.
+        let chirp: Vec<Complex<f32>> = (0..n)
+            .map(|j| {
+                let q = (j * j) % (2 * n);
+                let ang = sign * std::f64::consts::PI * q as f64 / n as f64;
+                Complex::new(ang.cos() as f32, ang.sin() as f32)
+            })
+            .collect();
+        let fwd = Radix2::new(m, FftDirection::Forward);
+        let inv = Radix2::new(m, FftDirection::Inverse);
+        // Kernel b[j] = conj(chirp[j]), wrapped circularly so that
+        // b[m - j] = b[j] covers negative lags.
+        let mut kernel = vec![Complex::new(0.0f32, 0.0); m];
+        for j in 0..n {
+            let c = chirp[j].conj();
+            kernel[j] = c;
+            if j != 0 {
+                kernel[m - j] = c;
+            }
+        }
+        fwd.process(&mut kernel);
+        Self {
+            n,
+            m,
+            chirp,
+            kernel_fft: kernel,
+            fwd,
+            inv,
+        }
+    }
+}
+
+impl Fft<f32> for Bluestein {
+    fn process(&self, buf: &mut [Complex<f32>]) {
+        let (n, m) = (self.n, self.m);
+        assert_eq!(buf.len(), n, "buffer length must match plan length");
+        let mut work = vec![Complex::new(0.0f32, 0.0); m];
+        for j in 0..n {
+            work[j] = buf[j] * self.chirp[j];
+        }
+        self.fwd.process(&mut work);
+        for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
+            *w = *w * *k;
+        }
+        self.inv.process(&mut work);
+        let scale = 1.0 / m as f32;
+        for k in 0..n {
+            buf[k] = work[k] * scale * self.chirp[k];
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_direct(x: &[Complex<f32>], dir: FftDirection) -> Vec<Complex<f32>> {
+        let n = x.len();
+        let sign = match dir {
+            FftDirection::Forward => -1.0f64,
+            FftDirection::Inverse => 1.0f64,
+        };
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::new(0.0f64, 0.0);
+                for (j, c) in x.iter().enumerate() {
+                    let ang = sign * std::f64::consts::TAU * (j * k % n) as f64 / n as f64;
+                    let w = Complex::new(ang.cos(), ang.sin());
+                    acc += Complex::new(c.re as f64, c.im as f64) * w;
+                }
+                Complex::new(acc.re as f32, acc.im as f32)
+            })
+            .collect()
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex<f32>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32;
+                Complex::new((0.3 * t).sin() + 0.5, (0.7 * t).cos() - 0.2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_dft_pow2() {
+        for n in [1usize, 2, 8, 64, 256] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlanner::new().plan_fft_forward(n).process(&mut y);
+            let want = dft_direct(&x, FftDirection::Forward);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((a - b).norm() < 1e-2 * (n as f32).sqrt(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_dft_non_pow2() {
+        for n in [3usize, 5, 12, 100, 240] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlanner::new().plan_fft_forward(n).process(&mut y);
+            let want = dft_direct(&x, FftDirection::Forward);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((a - b).norm() < 1e-2 * (n as f32).sqrt(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [16usize, 100, 256, 240] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            let mut planner = FftPlanner::new();
+            planner.plan_fft_forward(n).process(&mut y);
+            planner.plan_fft_inverse(n).process(&mut y);
+            for (a, b) in y.iter().zip(&x) {
+                let scaled = *a / n as f32;
+                assert!((scaled - b).norm() < 1e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tone_lands_on_its_bin() {
+        let n = 512;
+        let bin = 37;
+        let x: Vec<Complex<f32>> = (0..n)
+            .map(|i| {
+                Complex::from_polar(
+                    1.0,
+                    std::f32::consts::TAU * bin as f32 * i as f32 / n as f32,
+                )
+            })
+            .collect();
+        let mut y = x;
+        FftPlanner::new().plan_fft_forward(n).process(&mut y);
+        let max = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm().total_cmp(&b.1.norm()))
+            .unwrap()
+            .0;
+        assert_eq!(max, bin);
+    }
+}

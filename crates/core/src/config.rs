@@ -50,6 +50,11 @@ pub struct CicConfig {
     /// failed, which are then re-decoded (candidate exclusion only — no
     /// waveform subtraction). 1 disables iteration.
     pub decode_passes: usize,
+    /// Worker threads for packet decoding. 1 decodes sequentially on the
+    /// caller's thread; higher values make [`crate::CicReceiver`] (and the
+    /// streaming receiver built on it) split detected packets across
+    /// scoped threads, with output identical to sequential decoding.
+    pub decode_threads: usize,
 }
 
 impl Default for CicConfig {
@@ -70,6 +75,7 @@ impl Default for CicConfig {
             preamble_peak_threshold: 8.0,
             preamble_min_upchirps: 5,
             decode_passes: 3,
+            decode_threads: 1,
         }
     }
 }
@@ -109,8 +115,14 @@ mod tests {
 
     #[test]
     fn ablation_labels() {
-        assert_eq!(CicConfig::ablation(false, true).ablation_label(), "CIC-(CFO)");
-        assert_eq!(CicConfig::ablation(true, false).ablation_label(), "CIC-(Power)");
+        assert_eq!(
+            CicConfig::ablation(false, true).ablation_label(),
+            "CIC-(CFO)"
+        );
+        assert_eq!(
+            CicConfig::ablation(true, false).ablation_label(),
+            "CIC-(Power)"
+        );
         assert_eq!(
             CicConfig::ablation(false, false).ablation_label(),
             "CIC-(Power,CFO)"

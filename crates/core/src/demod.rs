@@ -407,11 +407,7 @@ mod tests {
         let (win, b) = collision(
             &p,
             150,
-            &[
-                (5, 99, 200, 1.5),
-                (30, 222, 520, 1.2),
-                (180, 64, 850, 0.8),
-            ],
+            &[(5, 99, 200, 1.5), (30, 222, 520, 1.2), (180, 64, 850, 0.8)],
         );
         let de = c.inner().dechirp(&win);
         let d = c.demodulate(&de, &b, &SymbolContext::default());

@@ -88,10 +88,10 @@ mod tests {
     #[test]
     fn power_filter_three_db_window() {
         let cands = vec![
-            cand(1, 1.0, 0.0),  // 0 dB off
-            cand(2, 1.9, 0.0),  // +2.8 dB
-            cand(3, 4.1, 0.0),  // +6.1 dB
-            cand(4, 0.1, 0.0),  // -10 dB
+            cand(1, 1.0, 0.0), // 0 dB off
+            cand(2, 1.9, 0.0), // +2.8 dB
+            cand(3, 4.1, 0.0), // +6.1 dB
+            cand(4, 0.1, 0.0), // -10 dB
         ];
         let kept = power_filter(&cands, 1.0, 3.0);
         let bins: Vec<usize> = kept.iter().map(|c| c.bin).collect();

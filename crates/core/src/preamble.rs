@@ -209,8 +209,7 @@ impl PreambleDetector {
             let mut ps = peaks::find_peaks(&spec, self.config.preamble_peak_threshold, 1);
             ps.truncate(6);
             for p in &mut ps {
-                p.power =
-                    spec[p.bin] + spec[(p.bin + 1) % n] + spec[(p.bin + n - 1) % n];
+                p.power = spec[p.bin] + spec[(p.bin + 1) % n] + spec[(p.bin + n - 1) % n];
             }
             window_peaks.push(ps);
         }
@@ -446,8 +445,7 @@ pub fn sync_candidates(
         // the first down-chirp (over the sync tail); the preamble
         // verification prunes wrong hypotheses.
         for m in [-1i64, 0, 1] {
-            let frame =
-                w as i64 - tau - layout.downchirp_start as i64 - m * sps as i64;
+            let frame = w as i64 - tau - layout.downchirp_start as i64 - m * sps as i64;
             // Tolerate a few samples of negative edge error.
             let frame = if (-8..0).contains(&frame) { 0 } else { frame };
             if frame >= 0 && !out.contains(&(frame as usize)) {
@@ -462,11 +460,7 @@ pub fn sync_candidates(
 /// de-chirp at symbol hops and look for `PREAMBLE_UPCHIRPS` consecutive
 /// windows whose strongest peak stays on one bin. Used as the baseline in
 /// the Fig 32–35 comparison and by the baseline receivers.
-pub fn upchirp_scan(
-    demod: &Demodulator,
-    capture: &[Cf32],
-    peak_threshold: f64,
-) -> Vec<Detection> {
+pub fn upchirp_scan(demod: &Demodulator, capture: &[Cf32], peak_threshold: f64) -> Vec<Detection> {
     let sps = demod.params().samples_per_symbol();
     let n = demod.params().n_bins();
     // Symbol-rate hop: a window offset τ into the repeated C_0 sequence
@@ -697,7 +691,7 @@ mod tests {
     #[test]
     fn circular_mean_wraps() {
         let m = circular_mean(&[255.5, 0.5], 256.0);
-        assert!(m < 1.0 || m > 255.0, "mean {m}");
+        assert!(!(1.0..=255.0).contains(&m), "mean {m}");
     }
 
     #[test]

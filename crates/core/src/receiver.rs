@@ -167,6 +167,17 @@ impl CicReceiver {
         }
     }
 
+    /// Receive with the thread count configured in
+    /// [`CicConfig::decode_threads`]: sequential for 1, otherwise
+    /// [`CicReceiver::receive_parallel`]. Output is identical either way.
+    pub fn receive_auto(&self, capture: &[Cf32]) -> Vec<DecodedPacket> {
+        if self.config.decode_threads > 1 {
+            self.receive_parallel(capture, self.config.decode_threads)
+        } else {
+            self.receive(capture)
+        }
+    }
+
     /// Full receive pipeline with `n_threads` workers decoding packets
     /// concurrently. Results match [`CicReceiver::receive`] exactly.
     pub fn receive_parallel(&self, capture: &[Cf32], n_threads: usize) -> Vec<DecodedPacket> {
@@ -177,15 +188,13 @@ impl CicReceiver {
         let tracker = self.tracker(&detections);
         let n_threads = n_threads.max(1).min(detections.len());
         let mut results: Vec<Option<DecodedPacket>> = vec![None; detections.len()];
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, (det_chunk, res_chunk)) in detections
+        std::thread::scope(|scope| {
+            for (det_chunk, res_chunk) in detections
                 .chunks(detections.len().div_ceil(n_threads))
                 .zip(results.chunks_mut(detections.len().div_ceil(n_threads)))
-                .enumerate()
             {
                 let tracker = &tracker;
-                let _ = chunk_idx;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Each worker owns its demodulator: FFT plans are not
                     // shared across threads.
                     let demod = CicDemodulator::new(self.params, self.config.clone());
@@ -195,8 +204,7 @@ impl CicReceiver {
                     }
                 });
             }
-        })
-        .expect("decode worker panicked");
+        });
         let mut packets: Vec<DecodedPacket> = results
             .into_iter()
             .map(|r| r.expect("all slots filled"))
@@ -424,6 +432,54 @@ mod tests {
         let par = rx.receive_parallel(&cap, 3);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.symbols, b.symbols);
+            assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_four_packet_collision() {
+        // Four packets piled into one collision window: every frame
+        // overlaps at least one other, so the re-decode passes and the
+        // per-thread demodulators all get exercised.
+        let p = params();
+        let sps = p.samples_per_symbol();
+        let emissions = vec![
+            emission(&p, 11, 24.0, 0, 300.0),
+            emission(&p, 12, 21.0, 12 * sps + 409, -900.0),
+            emission(&p, 13, 23.0, 24 * sps + 811, 1500.0),
+            emission(&p, 14, 20.0, 36 * sps + 173, -2100.0),
+        ];
+        let len = emissions
+            .iter()
+            .map(|e| e.start_sample + e.waveform.len())
+            .max()
+            .unwrap()
+            + 1000;
+        let mut cap = superpose(&p, len, &emissions);
+        let mut rng = StdRng::seed_from_u64(9);
+        add_unit_noise(&mut rng, &mut cap);
+        let rx = receiver();
+        let seq = rx.receive(&cap);
+        assert_eq!(seq.len(), 4, "all four collisions detected");
+        for threads in [2usize, 4, 8] {
+            let par = rx.receive_parallel(&cap, threads);
+            assert_eq!(seq.len(), par.len(), "{threads} threads");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.detection.frame_start, b.detection.frame_start);
+                assert_eq!(a.symbols, b.symbols, "{threads} threads");
+                assert_eq!(a.payload, b.payload, "{threads} threads");
+                assert_eq!(a.truncated_symbols, b.truncated_symbols);
+            }
+        }
+        // receive_auto dispatches on the configured thread count.
+        let cfg = CicConfig {
+            decode_threads: 4,
+            ..CicConfig::default()
+        };
+        let auto = CicReceiver::new(p, CodeRate::Cr45, 16, cfg).receive_auto(&cap);
+        assert_eq!(auto.len(), seq.len());
+        for (a, b) in seq.iter().zip(&auto) {
             assert_eq!(a.symbols, b.symbols);
             assert_eq!(a.payload, b.payload);
         }

@@ -92,8 +92,8 @@ impl EdgeSpectra {
             .iter()
             .map(|&b| self.left[b].max(self.right[b]))
             .fold(0.0f64, f64::max);
-        let floor = (4.0 * self.left.median_power().max(self.right.median_power()))
-            .max(cand_max / 16.0);
+        let floor =
+            (4.0 * self.left.median_power().max(self.right.median_power())).max(cand_max / 16.0);
         let score = |b: usize| -> f64 {
             if self.left[b].max(self.right[b]) < floor {
                 f64::INFINITY
@@ -104,7 +104,9 @@ impl EdgeSpectra {
         // `min_by` keeps the first of equal elements, and callers pass
         // bins strongest-first, so an all-void tie resolves to the
         // strongest candidate.
-        bins.iter().copied().min_by(|&a, &b| score(a).total_cmp(&score(b)))
+        bins.iter()
+            .copied()
+            .min_by(|&a, &b| score(a).total_cmp(&score(b)))
     }
 }
 

@@ -55,6 +55,14 @@ impl StreamingReceiver {
         self.buffer.len()
     }
 
+    /// How far behind [`Self::position`] a future packet can still start:
+    /// every packet emitted by a later `push` has
+    /// `frame_start >= position() - holdback()`. Lets a merger of several
+    /// streams compute a safe release watermark.
+    pub fn holdback(&self) -> usize {
+        self.keep_len()
+    }
+
     /// Frame length in samples for the configured payload size.
     fn frame_len(&self) -> usize {
         let layout = lora_phy::modulate::FrameLayout::new(self.rx.params());
@@ -105,6 +113,21 @@ impl StreamingReceiver {
         out
     }
 
+    /// Jump the stream head forward to absolute sample `position`:
+    /// samples in between were lost upstream (e.g. an overloaded queue
+    /// dropped them). Whatever the current buffer still holds is decoded
+    /// with drain semantics and returned; the receiver then continues
+    /// cleanly from `position`, with packets straddling the gap given up.
+    /// Positions at or behind the current head are a no-op.
+    pub fn seek_to(&mut self, position: usize) -> Vec<DecodedPacket> {
+        if position <= self.position() {
+            return Vec::new();
+        }
+        let out = self.flush();
+        self.origin = position;
+        out
+    }
+
     fn process(&mut self) -> Vec<DecodedPacket> {
         self.process_inner(false)
     }
@@ -116,7 +139,7 @@ impl StreamingReceiver {
         let sps = self.rx.params().samples_per_symbol();
         let frame = self.frame_len();
         let mut out = Vec::new();
-        for mut pkt in self.rx.receive(&self.buffer) {
+        for mut pkt in self.rx.receive_auto(&self.buffer) {
             // Hold packets that ran off the end of the buffer — the next
             // push will complete them. Also hold packets whose frame ends
             // within two symbols of the stream head: a detection made at
@@ -134,18 +157,11 @@ impl StreamingReceiver {
             // (and is emitted) before its start drifts into this margin,
             // because keep_len exceeds frame + margin by construction.
             let layout = lora_phy::modulate::FrameLayout::new(self.rx.params());
-            if !draining
-                && self.origin > 0
-                && pkt.detection.frame_start < layout.data_start + sps
-            {
+            if !draining && self.origin > 0 && pkt.detection.frame_start < layout.data_start + sps {
                 continue;
             }
             let absolute = self.origin + pkt.detection.frame_start;
-            if self
-                .emitted
-                .iter()
-                .any(|&s| s.abs_diff(absolute) < sps / 2)
-            {
+            if self.emitted.iter().any(|&s| s.abs_diff(absolute) < sps / 2) {
                 continue;
             }
             self.emitted.push(absolute);
@@ -256,7 +272,11 @@ mod tests {
         let bound = s.keep_len() + chunk;
         for c in cap.chunks(chunk) {
             s.push(c);
-            assert!(s.buffered() <= bound, "buffer {} > bound {bound}", s.buffered());
+            assert!(
+                s.buffered() <= bound,
+                "buffer {} > bound {bound}",
+                s.buffered()
+            );
         }
         assert_eq!(s.position(), cap.len());
     }
@@ -266,8 +286,75 @@ mod tests {
         let (cap, _) = capture();
         let got = run_streaming(&cap, 2048);
         for w in got.windows(2) {
-            assert!(w[1].0 - w[0].0 > 512, "duplicate at {} / {}", w[0].0, w[1].0);
+            assert!(
+                w[1].0 - w[0].0 > 512,
+                "duplicate at {} / {}",
+                w[0].0,
+                w[1].0
+            );
         }
+    }
+
+    #[test]
+    fn threaded_streaming_matches_sequential() {
+        // Same stream pushed through a single-threaded and a 4-thread
+        // receiver: decode_threads must not change a single emission.
+        let (cap, _) = capture();
+        let sequential = run_streaming(&cap, 8192);
+        let cfg = CicConfig {
+            decode_threads: 4,
+            ..CicConfig::default()
+        };
+        let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 14, cfg);
+        let mut threaded = Vec::new();
+        for c in cap.chunks(8192) {
+            for pkt in s.push(c) {
+                threaded.push((pkt.detection.frame_start, pkt.payload));
+            }
+        }
+        for pkt in s.flush() {
+            threaded.push((pkt.detection.frame_start, pkt.payload));
+        }
+        threaded.sort_by_key(|g| g.0);
+        assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn seek_skips_a_gap_and_keeps_positions_absolute() {
+        let (cap, truth) = capture();
+        let p = params();
+        let frame = Transceiver::new(p, CodeRate::Cr45).frame_samples(14);
+        let mut s = StreamingReceiver::new(p, CodeRate::Cr45, 14, CicConfig::default());
+        let mut got = Vec::new();
+        // Feed until the second packet's frame is complete (plus the
+        // emission margin), then simulate losing everything up to just
+        // before the third packet and continue from there.
+        let fed = truth[1].0 + frame + 4 * p.samples_per_symbol();
+        let cut_resume = truth[2].0 - 2 * p.samples_per_symbol();
+        for c in cap[..fed].chunks(8192) {
+            got.extend(s.push(c));
+        }
+        got.extend(s.seek_to(cut_resume));
+        assert_eq!(s.position(), cut_resume);
+        for c in cap[cut_resume..].chunks(8192) {
+            got.extend(s.push(c));
+        }
+        got.extend(s.flush());
+        // Packets 1, 2 and 3 all arrive, with absolute stream positions.
+        assert_eq!(got.len(), 3);
+        got.sort_by_key(|p| p.detection.frame_start);
+        for (pkt, (ts, tp)) in got.iter().zip(&truth) {
+            assert!(pkt.detection.frame_start.abs_diff(*ts) <= 4);
+            assert_eq!(pkt.payload.as_deref(), Some(&tp[..]));
+        }
+    }
+
+    #[test]
+    fn seek_backwards_is_a_no_op() {
+        let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 14, CicConfig::default());
+        s.push(&vec![Cf32::new(0.0, 0.0); 5000]);
+        assert!(s.seek_to(100).is_empty());
+        assert_eq!(s.position(), 5000);
     }
 
     #[test]

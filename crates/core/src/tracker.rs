@@ -114,8 +114,7 @@ impl Tracker {
                 continue;
             }
             // Skip transmissions that do not overlap the window at all.
-            if tx.frame_start >= window_start + len || tx.frame_end(&self.layout) <= window_start
-            {
+            if tx.frame_start >= window_start + len || tx.frame_end(&self.layout) <= window_start {
                 continue;
             }
             for pos in tx.boundary_positions(&self.layout) {

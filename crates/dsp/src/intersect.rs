@@ -99,10 +99,7 @@ mod tests {
     fn commutative_p1() {
         let a = sp(&[1.0, 5.0, 0.5]);
         let b = sp(&[3.0, 1.0, 4.0]);
-        assert_eq!(
-            spectral_intersection(&a, &b),
-            spectral_intersection(&b, &a)
-        );
+        assert_eq!(spectral_intersection(&a, &b), spectral_intersection(&b, &a));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`peaks`] — peak detection and fractional peak interpolation,
 //! * [`window`] — rectangular sub-symbol windowing (paper Eqn 7/11),
 //! * [`correlate`] — sliding cross-correlation used by preamble detection,
+//! * [`channelizer`] — streaming wideband → per-channel splitter (NCO mix,
+//!   low-pass FIR, decimation) feeding the multi-channel gateway,
 //! * [`math`] — small numeric helpers (energy, dB, sinc, phase).
 //!
 //! All spectra produced here share one frequency grid (the full
@@ -20,6 +22,7 @@
 //! That makes the bin-wise minimum of [`intersect`] a well-defined
 //! approximation of set intersection over constituent frequencies.
 
+pub mod channelizer;
 pub mod correlate;
 pub mod fft;
 pub mod intersect;
@@ -28,6 +31,7 @@ pub mod peaks;
 pub mod spectrum;
 pub mod window;
 
+pub use channelizer::{Channelizer, ChannelizerConfig};
 pub use fft::FftEngine;
 pub use intersect::{spectral_intersection, spectral_intersection_into};
 pub use peaks::{find_peaks, max_peak, Peak};

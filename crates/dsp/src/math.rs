@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn amplitude_db_squares_to_power() {
         let a = amplitude_from_db(6.0);
-        assert!((db((a * a) as f64) - 6.0).abs() < 1e-9);
+        assert!((db(a * a) - 6.0).abs() < 1e-9);
     }
 
     #[test]

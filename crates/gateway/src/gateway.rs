@@ -1,0 +1,336 @@
+//! The gateway runtime: channelizer front end, per-(channel, SF) worker
+//! pool, and the merged time-ordered packet stream.
+//!
+//! Dataflow (one box per thread):
+//!
+//! ```text
+//!                 ┌──────────── caller thread ────────────┐
+//! wideband IQ ──▶ │ Gateway::push ─▶ Channelizer (D-fold) │
+//!                 └──────┬───────────────┬────────────────┘
+//!               channel 0│     channel 1 │        …
+//!                  ┌─────┴─────┐   ┌─────┴─────┐
+//!                  ▼           ▼   ▼           ▼
+//!             [queue 0,SF7] [queue 0,SF9] …        bounded, drop-oldest
+//!                  │           │
+//!                  ▼           ▼
+//!             worker thread  worker thread          StreamingReceiver
+//!             (CIC decode)   (CIC decode)           per (channel, SF)
+//!                  └─────┬─────┘
+//!                        ▼
+//!                  PacketSink  ─▶ time-ordered, deduplicated packets
+//! ```
+//!
+//! Backpressure policy: `push` never blocks. Each worker's queue is
+//! bounded; when a decoder falls behind, the *oldest* queued chunk is
+//! dropped and counted ([`crate::stats::WorkerStats::chunks_dropped`]),
+//! and the worker resynchronises across the gap with
+//! [`StreamingReceiver::seek_to`] — packets straddling a gap are lost
+//! (and only those), packets entirely after it decode normally.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cic::{CicConfig, DecodedPacket, StreamingReceiver};
+use lora_dsp::{Cf32, Channelizer, ChannelizerConfig};
+use lora_phy::params::{CodeRate, LoraParams};
+
+use crate::queue::{Chunk, ChunkQueue};
+use crate::sink::{GatewayPacket, PacketSink};
+use crate::stats::{GatewaySnapshot, GatewayStats, WorkerStats};
+
+/// Everything needed to stand up a gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// The wideband → channel split.
+    pub channelizer: ChannelizerConfig,
+    /// Oversampling at the channel rate (channel bandwidth is
+    /// `channel_rate / oversampling`).
+    pub oversampling: usize,
+    /// Spreading factors decoded on every channel (one worker each).
+    pub sfs: Vec<u8>,
+    /// Coding rate of the deployment.
+    pub code_rate: CodeRate,
+    /// Fixed payload length (implicit-header deployments).
+    pub payload_len: usize,
+    /// CIC decoder configuration shared by all workers.
+    pub cic: CicConfig,
+    /// Bounded queue capacity per worker, in chunks.
+    pub queue_capacity: usize,
+}
+
+impl GatewayConfig {
+    /// LoRa parameters of one channel stream at spreading factor `sf`.
+    pub fn channel_params(&self, sf: u8) -> LoraParams {
+        let bw = self.channelizer.channel_rate_hz() / self.oversampling as f64;
+        LoraParams::new(sf, bw, self.oversampling).expect("gateway config holds valid parameters")
+    }
+
+    /// The (channel, SF) pair handled by each worker, in worker order.
+    pub fn workers(&self) -> Vec<(usize, u8)> {
+        let mut v = Vec::with_capacity(self.channelizer.n_channels() * self.sfs.len());
+        for channel in 0..self.channelizer.n_channels() {
+            for &sf in &self.sfs {
+                v.push((channel, sf));
+            }
+        }
+        v
+    }
+}
+
+/// Per-worker context moved onto the worker thread.
+struct WorkerCtx {
+    idx: usize,
+    channel: usize,
+    sf: u8,
+    queue: Arc<ChunkQueue>,
+    sink: Arc<PacketSink>,
+    stats: Arc<GatewayStats>,
+    wstats: Arc<WorkerStats>,
+    /// Wideband samples per channel sample.
+    decimation: u64,
+    /// Channel-filter group delay in wideband samples.
+    delay_wideband: u64,
+}
+
+impl WorkerCtx {
+    /// Map a channel-stream sample index onto the wideband time base,
+    /// correcting the filter group delay.
+    fn to_wideband(&self, channel_sample: usize) -> u64 {
+        (channel_sample as u64 * self.decimation).saturating_sub(self.delay_wideband)
+    }
+
+    /// Count and forward freshly decoded packets to the sink.
+    fn deliver(&self, packets: Vec<DecodedPacket>) {
+        if packets.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(packets.len());
+        for p in packets {
+            if p.ok() {
+                self.wstats.packets_decoded.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.wstats.crc_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            out.push(GatewayPacket {
+                channel: self.channel,
+                sf: self.sf,
+                start_wideband: self.to_wideband(p.detection.frame_start),
+                packet: p,
+            });
+        }
+        self.sink.report(out);
+    }
+}
+
+fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
+    let holdback = sr.holdback();
+    while let Some(chunk) = ctx.queue.pop() {
+        let mut decoded = Vec::new();
+        // A start beyond our position means chunks were dropped: give up
+        // on anything straddling the gap and resynchronise.
+        if chunk.start > sr.position() {
+            decoded.extend(sr.seek_to(chunk.start));
+        }
+        let t0 = Instant::now();
+        decoded.extend(sr.push(&chunk.samples));
+        ctx.stats.decode.record(t0.elapsed());
+        ctx.deliver(decoded);
+        let safe = sr.position().saturating_sub(holdback);
+        ctx.sink.set_watermark(ctx.idx, ctx.to_wideband(safe));
+    }
+    // Queue closed and drained: decode what the buffer still holds.
+    let rest = sr.flush();
+    ctx.deliver(rest);
+    ctx.sink.finish_worker(ctx.idx);
+}
+
+/// A running multi-channel gateway. Feed wideband samples with
+/// [`Gateway::push`] (any chunk sizes), collect merged packets with
+/// [`Gateway::poll_packets`] or all at once from [`Gateway::finish`].
+pub struct Gateway {
+    channelizer: Channelizer,
+    /// One queue per worker, in [`GatewayConfig::workers`] order.
+    queues: Vec<Arc<ChunkQueue>>,
+    /// Channel index of each worker.
+    worker_channel: Vec<usize>,
+    handles: Vec<JoinHandle<()>>,
+    sink: Arc<PacketSink>,
+    stats: Arc<GatewayStats>,
+    /// Channel-stream samples produced so far, per channel.
+    produced: Vec<usize>,
+}
+
+impl Gateway {
+    /// Spawn the worker pool and return a ready gateway.
+    pub fn new(config: GatewayConfig) -> Self {
+        assert!(!config.sfs.is_empty(), "need at least one spreading factor");
+        let workers = config.workers();
+        let stats = Arc::new(GatewayStats::new(&workers));
+        let channelizer = Channelizer::new(config.channelizer.clone());
+        let decimation = config.channelizer.decimation as u64;
+        let delay_wideband = channelizer.group_delay_wideband() as u64;
+        let max_sf = *config.sfs.iter().max().expect("non-empty sfs");
+        let sink = Arc::new(PacketSink::new(
+            workers.len(),
+            config.oversampling * config.channelizer.decimation,
+            max_sf,
+            stats.clone(),
+        ));
+
+        let mut queues = Vec::with_capacity(workers.len());
+        let mut worker_channel = Vec::with_capacity(workers.len());
+        let mut handles = Vec::with_capacity(workers.len());
+        for (idx, &(channel, sf)) in workers.iter().enumerate() {
+            let wstats = stats.worker(idx);
+            let queue = Arc::new(ChunkQueue::new(config.queue_capacity, wstats.clone()));
+            let sr = StreamingReceiver::new(
+                config.channel_params(sf),
+                config.code_rate,
+                config.payload_len,
+                config.cic.clone(),
+            );
+            let ctx = WorkerCtx {
+                idx,
+                channel,
+                sf,
+                queue: queue.clone(),
+                sink: sink.clone(),
+                stats: stats.clone(),
+                wstats,
+                decimation,
+                delay_wideband,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-ch{channel}-sf{sf}"))
+                    .spawn(move || worker_loop(ctx, sr))
+                    .expect("spawn gateway worker"),
+            );
+            queues.push(queue);
+            worker_channel.push(channel);
+        }
+
+        Self {
+            channelizer,
+            queues,
+            worker_channel,
+            handles,
+            sink,
+            stats,
+            produced: vec![0; config.channelizer.n_channels()],
+        }
+    }
+
+    /// Feed a chunk of wideband samples. Never blocks: an overloaded
+    /// worker sheds its oldest queued chunk instead (counted in the
+    /// stats).
+    pub fn push(&mut self, samples: &[Cf32]) {
+        self.stats
+            .samples_in
+            .fetch_add(samples.len() as u64, Ordering::Relaxed);
+        self.stats.chunks_in.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let outs = self.channelizer.process(samples);
+        self.stats.channelize.record(t0.elapsed());
+        for (channel, out) in outs.into_iter().enumerate() {
+            if out.is_empty() {
+                continue;
+            }
+            let start = self.produced[channel];
+            self.produced[channel] += out.len();
+            let shared = Arc::new(out);
+            for (idx, queue) in self.queues.iter().enumerate() {
+                if self.worker_channel[idx] == channel {
+                    queue.push(Chunk {
+                        start,
+                        samples: shared.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Packets released by the sink since the last call, time-ordered.
+    pub fn poll_packets(&self) -> Vec<GatewayPacket> {
+        self.sink.take_released()
+    }
+
+    /// Live telemetry handle (snapshot-readable at any time).
+    pub fn stats(&self) -> Arc<GatewayStats> {
+        self.stats.clone()
+    }
+
+    /// End of stream: close all queues, wait for every worker to drain
+    /// and flush, and return the remaining merged packets (everything
+    /// since the last [`Gateway::poll_packets`] call) plus a final
+    /// telemetry snapshot.
+    pub fn finish(self) -> (Vec<GatewayPacket>, GatewaySnapshot) {
+        for q in &self.queues {
+            q.close();
+        }
+        for h in self.handles {
+            h.join().expect("gateway worker panicked");
+        }
+        let packets = self.sink.take_released();
+        (packets, self.stats.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> GatewayConfig {
+        GatewayConfig {
+            channelizer: ChannelizerConfig::uniform(4, 250e3, 500e3, 1e6, 4),
+            oversampling: 4,
+            sfs: vec![7, 9],
+            code_rate: CodeRate::Cr45,
+            payload_len: 16,
+            cic: CicConfig::default(),
+            queue_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn worker_layout_covers_channels_times_sfs() {
+        let w = config().workers();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w[0], (0, 7));
+        assert_eq!(w[1], (0, 9));
+        assert_eq!(w[7], (3, 9));
+    }
+
+    #[test]
+    fn channel_params_recover_bandwidth() {
+        let p = config().channel_params(7);
+        assert_eq!(p.samples_per_symbol(), 128 * 4);
+        assert!((p.bandwidth_hz() - 250e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let gw = Gateway::new(config());
+        let (packets, snap) = gw.finish();
+        assert!(packets.is_empty());
+        assert_eq!(snap.samples_in, 0);
+        assert_eq!(snap.packets_decoded, 0);
+        assert_eq!(snap.chunks_dropped, 0);
+    }
+
+    #[test]
+    fn silence_produces_no_packets_but_counts_samples() {
+        let mut gw = Gateway::new(config());
+        for _ in 0..8 {
+            gw.push(&vec![Cf32::new(0.0, 0.0); 4096]);
+        }
+        let (packets, snap) = gw.finish();
+        assert!(packets.is_empty());
+        assert_eq!(snap.samples_in, 8 * 4096);
+        assert_eq!(snap.chunks_in, 8);
+        assert!(snap.channelize.count == 8);
+        assert!(snap.decode.count > 0);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # lora-gateway — concurrent multi-channel gateway runtime
+//!
+//! The paper deploys CIC at SDR gateways that digitise a whole band of
+//! LoRa channels at once (§6). This crate is that runtime:
+//!
+//! * [`gateway`] — the [`Gateway`] itself: wideband samples in, a merged
+//!   time-ordered packet stream out, one decode thread per
+//!   (channel, spreading factor);
+//! * [`queue`] — bounded sample queues between the channelizer and the
+//!   workers, with a counted drop-oldest overload policy;
+//! * [`sink`] — the watermark-based merge of all worker outputs into one
+//!   time-ordered, duplicate-suppressed stream;
+//! * [`stats`] — [`GatewayStats`]: atomic counters and log2 latency
+//!   histograms, snapshot-readable while the gateway runs.
+//!
+//! The channelizer itself lives in [`lora_dsp::channelizer`]; the
+//! wideband multi-channel stimulus for tests and benchmarks lives in
+//! `lora_channel::wideband`.
+
+pub mod gateway;
+pub mod queue;
+pub mod sink;
+pub mod stats;
+
+pub use gateway::{Gateway, GatewayConfig};
+pub use queue::{Chunk, ChunkQueue};
+pub use sink::{GatewayPacket, PacketSink};
+pub use stats::{GatewaySnapshot, GatewayStats, HistogramSnapshot, LatencyHistogram, WorkerStats};

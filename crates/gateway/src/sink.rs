@@ -1,0 +1,261 @@
+//! Merging the per-(channel, SF) decoder outputs into one time-ordered
+//! packet stream with duplicate suppression.
+//!
+//! Workers run at different speeds, so a packet arriving from worker A
+//! may precede — in air time — one already reported by worker B. The
+//! sink therefore buffers reported packets and only *releases* those at
+//! or below the **release watermark**: the minimum over all workers of
+//! "no future packet from this worker can start earlier than here"
+//! (each worker derives its bound from
+//! [`cic::StreamingReceiver::holdback`]). Watermarks only move forward
+//! and every reported packet starts at or after its worker's watermark
+//! at report time, so the released stream is globally non-decreasing in
+//! start time — time-ordered without ever stalling a worker.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use cic::DecodedPacket;
+
+use crate::stats::GatewayStats;
+
+/// A decoded packet with its gateway-level provenance.
+#[derive(Debug, Clone)]
+pub struct GatewayPacket {
+    /// Channel the packet was received on.
+    pub channel: usize,
+    /// Spreading factor it was decoded at.
+    pub sf: u8,
+    /// Estimated frame start in *wideband* samples (group-delay
+    /// corrected), the common time base across all workers.
+    pub start_wideband: u64,
+    /// The demodulated packet (payload is `Some` iff CRC passed).
+    pub packet: DecodedPacket,
+}
+
+struct Released {
+    channel: usize,
+    sf: u8,
+    start_wideband: u64,
+    payload: Option<Vec<u8>>,
+}
+
+struct SinkInner {
+    /// Per-worker release bound, wideband samples.
+    watermarks: Vec<u64>,
+    /// Reported but not yet releasable.
+    pending: Vec<GatewayPacket>,
+    /// Recently released packets, kept for duplicate suppression.
+    recent: Vec<Released>,
+    /// Released, time-ordered, awaiting collection.
+    released: Vec<GatewayPacket>,
+}
+
+/// The merge point of all worker outputs. See the module docs.
+pub struct PacketSink {
+    inner: Mutex<SinkInner>,
+    stats: Arc<GatewayStats>,
+    /// Wideband samples per chip (`oversampling × decimation`); symbol
+    /// length at SF `s` is `2^s` chips.
+    chip_wideband: u64,
+    /// Largest SF any worker decodes, for the dedup horizon.
+    max_sf: u8,
+}
+
+impl PacketSink {
+    /// A sink merging `n_workers` streams.
+    pub fn new(
+        n_workers: usize,
+        chip_wideband: usize,
+        max_sf: u8,
+        stats: Arc<GatewayStats>,
+    ) -> Self {
+        Self {
+            inner: Mutex::new(SinkInner {
+                watermarks: vec![0; n_workers],
+                pending: Vec::new(),
+                recent: Vec::new(),
+                released: Vec::new(),
+            }),
+            stats,
+            chip_wideband: chip_wideband as u64,
+            max_sf,
+        }
+    }
+
+    fn symbol_len(&self, sf: u8) -> u64 {
+        (1u64 << sf) * self.chip_wideband
+    }
+
+    /// Report newly decoded packets from worker `worker`.
+    pub fn report(&self, packets: Vec<GatewayPacket>) {
+        if packets.is_empty() {
+            return;
+        }
+        self.inner.lock().unwrap().pending.extend(packets);
+    }
+
+    /// Advance worker `worker`'s watermark (monotone; lower values are
+    /// ignored) and release every pending packet the new global minimum
+    /// covers.
+    pub fn set_watermark(&self, worker: usize, watermark: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if watermark <= inner.watermarks[worker] {
+            return;
+        }
+        inner.watermarks[worker] = watermark;
+        self.drain(&mut inner);
+    }
+
+    /// Mark worker `worker` as finished: it will never report again, so
+    /// it no longer constrains the release watermark.
+    pub fn finish_worker(&self, worker: usize) {
+        self.set_watermark(worker, u64::MAX);
+    }
+
+    /// Take every packet released since the last call (time-ordered).
+    pub fn take_released(&self) -> Vec<GatewayPacket> {
+        std::mem::take(&mut self.inner.lock().unwrap().released)
+    }
+
+    fn drain(&self, inner: &mut SinkInner) {
+        let horizon = *inner.watermarks.iter().min().expect("at least one worker");
+        if inner.pending.iter().all(|p| p.start_wideband > horizon) {
+            return;
+        }
+        let mut due: Vec<GatewayPacket> = Vec::new();
+        let mut keep: Vec<GatewayPacket> = Vec::new();
+        for p in inner.pending.drain(..) {
+            if p.start_wideband <= horizon {
+                due.push(p);
+            } else {
+                keep.push(p);
+            }
+        }
+        inner.pending = keep;
+        due.sort_by_key(|p| (p.start_wideband, p.channel, p.sf));
+        for p in due {
+            if self.is_duplicate(&inner.recent, &p) {
+                self.stats
+                    .duplicates_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            inner.recent.push(Released {
+                channel: p.channel,
+                sf: p.sf,
+                start_wideband: p.start_wideband,
+                payload: p.packet.payload.clone(),
+            });
+            self.stats.packets_released.fetch_add(1, Ordering::Relaxed);
+            inner.released.push(p);
+        }
+        // Duplicates of a transmission start within ~a symbol of each
+        // other; pruning a few max-SF symbols behind the watermark keeps
+        // `recent` small without ever forgetting a live candidate.
+        let prune = horizon.saturating_sub(4 * self.symbol_len(self.max_sf));
+        inner.recent.retain(|r| r.start_wideband >= prune);
+    }
+
+    /// Two reports describe the same transmission when they sit on the
+    /// same channel at (nearly) the same time: identical payloads within
+    /// a symbol, or the same (channel, SF) stream within half a symbol
+    /// (the in-stream dedup safety net).
+    fn is_duplicate(&self, recent: &[Released], p: &GatewayPacket) -> bool {
+        recent.iter().any(|r| {
+            if r.channel != p.channel {
+                return false;
+            }
+            let dt = r.start_wideband.abs_diff(p.start_wideband);
+            let same_stream = r.sf == p.sf && dt < self.symbol_len(p.sf) / 2;
+            let same_payload = p.packet.payload.is_some()
+                && r.payload == p.packet.payload
+                && dt < self.symbol_len(p.sf.max(r.sf));
+            same_stream || same_payload
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cic::Detection;
+
+    fn stats() -> Arc<GatewayStats> {
+        Arc::new(GatewayStats::new(&[(0, 7), (1, 7)]))
+    }
+
+    fn pkt(channel: usize, sf: u8, start: u64, payload: &[u8]) -> GatewayPacket {
+        GatewayPacket {
+            channel,
+            sf,
+            start_wideband: start,
+            packet: DecodedPacket {
+                detection: Detection {
+                    frame_start: start as usize,
+                    cfo_bins: 0.0,
+                    peak_power: 1.0,
+                    score: 10.0,
+                },
+                symbols: vec![],
+                payload: Some(payload.to_vec()),
+                truncated_symbols: 0,
+                contested_symbols: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn holds_until_all_watermarks_cover() {
+        let sink = PacketSink::new(2, 16, 9, stats());
+        sink.report(vec![pkt(0, 7, 1000, b"a")]);
+        sink.set_watermark(0, 50_000);
+        // Worker 1 still at 0: nothing may be released yet.
+        assert!(sink.take_released().is_empty());
+        sink.set_watermark(1, 2_000);
+        let got = sink.take_released();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start_wideband, 1000);
+    }
+
+    #[test]
+    fn releases_in_time_order_across_workers() {
+        let s = stats();
+        let sink = PacketSink::new(2, 16, 9, s.clone());
+        sink.report(vec![pkt(0, 7, 9000, b"b")]);
+        sink.report(vec![pkt(1, 7, 4000, b"a"), pkt(1, 7, 12_000, b"c")]);
+        sink.finish_worker(0);
+        sink.finish_worker(1);
+        let got = sink.take_released();
+        let starts: Vec<u64> = got.iter().map(|p| p.start_wideband).collect();
+        assert_eq!(starts, vec![4000, 9000, 12_000]);
+        assert_eq!(s.snapshot().packets_released, 3);
+    }
+
+    #[test]
+    fn suppresses_same_payload_duplicate_on_channel() {
+        let s = stats();
+        let sink = PacketSink::new(2, 16, 9, s.clone());
+        // Same channel, same payload, one symbol apart: one transmission.
+        sink.report(vec![pkt(0, 7, 10_000, b"dup")]);
+        sink.report(vec![pkt(0, 9, 10_500, b"dup")]);
+        // Different channel, same payload: NOT a duplicate.
+        sink.report(vec![pkt(1, 7, 10_200, b"dup")]);
+        sink.finish_worker(0);
+        sink.finish_worker(1);
+        let got = sink.take_released();
+        assert_eq!(got.len(), 2);
+        assert_eq!(s.snapshot().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn watermarks_are_monotone() {
+        let sink = PacketSink::new(1, 16, 7, stats());
+        sink.set_watermark(0, 5000);
+        sink.report(vec![pkt(0, 7, 4000, b"x")]);
+        // A stale lower watermark must not rewind the release bound.
+        sink.set_watermark(0, 1000);
+        sink.set_watermark(0, 5001);
+        assert_eq!(sink.take_released().len(), 1);
+    }
+}

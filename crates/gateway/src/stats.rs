@@ -1,0 +1,309 @@
+//! Gateway telemetry: lock-free counters and latency histograms that can
+//! be snapshotted at any moment while the gateway is running.
+//!
+//! Everything is plain atomics with relaxed ordering — each value is an
+//! independent monotone counter, so a snapshot is a consistent-enough
+//! view for monitoring (it may straddle an in-flight update by one
+//! count, never tear a value).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `i` holds durations in
+/// `[2^i, 2^{i+1})` nanoseconds, the last bucket absorbs the tail
+/// (`2^39` ns ≈ 9 minutes).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-size log2 histogram of durations, safe to record into from
+/// many threads.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    total_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = (d.as_nanos() as u64).max(1);
+        let bucket = (ns.ilog2() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds.
+    pub total_ns: u64,
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^{i+1})` ns.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound (ns) of the highest non-empty bucket — a cheap
+    /// worst-case latency indicator.
+    pub fn max_bucket_ns(&self) -> u64 {
+        match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => 1u64 << i,
+            None => 0,
+        }
+    }
+}
+
+/// Per-worker counters. A worker owns one (channel, spreading factor)
+/// stream; its queue records overload here and its decode loop records
+/// outcomes.
+pub struct WorkerStats {
+    /// Channel index this worker consumes.
+    pub channel: usize,
+    /// Spreading factor this worker decodes.
+    pub sf: u8,
+    /// Chunks evicted by the drop-oldest policy.
+    pub chunks_dropped: AtomicU64,
+    /// Samples inside those evicted chunks.
+    pub samples_dropped: AtomicU64,
+    /// Highest queue depth (chunks) ever observed.
+    pub queue_depth_hwm: AtomicU64,
+    /// Packets decoded with a passing CRC.
+    pub packets_decoded: AtomicU64,
+    /// Packets demodulated but failing FEC/CRC.
+    pub crc_failures: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Fresh counters for one worker.
+    pub fn new(channel: usize, sf: u8) -> Self {
+        Self {
+            channel,
+            sf,
+            chunks_dropped: AtomicU64::new(0),
+            samples_dropped: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
+            packets_decoded: AtomicU64::new(0),
+            crc_failures: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> WorkerSnapshot {
+        WorkerSnapshot {
+            channel: self.channel,
+            sf: self.sf,
+            chunks_dropped: self.chunks_dropped.load(Ordering::Relaxed),
+            samples_dropped: self.samples_dropped.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            packets_decoded: self.packets_decoded.load(Ordering::Relaxed),
+            crc_failures: self.crc_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one worker's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Channel index.
+    pub channel: usize,
+    /// Spreading factor.
+    pub sf: u8,
+    /// Chunks evicted by drop-oldest.
+    pub chunks_dropped: u64,
+    /// Samples inside evicted chunks.
+    pub samples_dropped: u64,
+    /// Queue depth high-water mark, chunks.
+    pub queue_depth_hwm: u64,
+    /// CRC-passing packets.
+    pub packets_decoded: u64,
+    /// CRC-failing packets.
+    pub crc_failures: u64,
+}
+
+/// All gateway telemetry, shared between the front end, the workers and
+/// the sink.
+pub struct GatewayStats {
+    /// Wideband samples accepted by [`crate::Gateway::push`].
+    pub samples_in: AtomicU64,
+    /// Calls to [`crate::Gateway::push`].
+    pub chunks_in: AtomicU64,
+    /// Packets released by the time-ordered sink.
+    pub packets_released: AtomicU64,
+    /// Packets the sink suppressed as duplicates.
+    pub duplicates_suppressed: AtomicU64,
+    /// Latency of one channelizer pass over a pushed chunk.
+    pub channelize: LatencyHistogram,
+    /// Latency of one streaming-receiver push (detection + decode).
+    pub decode: LatencyHistogram,
+    per_worker: Vec<Arc<WorkerStats>>,
+}
+
+impl GatewayStats {
+    /// Stats for a gateway with the given worker layout.
+    pub fn new(workers: &[(usize, u8)]) -> Self {
+        Self {
+            samples_in: AtomicU64::new(0),
+            chunks_in: AtomicU64::new(0),
+            packets_released: AtomicU64::new(0),
+            duplicates_suppressed: AtomicU64::new(0),
+            channelize: LatencyHistogram::new(),
+            decode: LatencyHistogram::new(),
+            per_worker: workers
+                .iter()
+                .map(|&(ch, sf)| Arc::new(WorkerStats::new(ch, sf)))
+                .collect(),
+        }
+    }
+
+    /// The counters of worker `idx` (shared handle).
+    pub fn worker(&self, idx: usize) -> Arc<WorkerStats> {
+        self.per_worker[idx].clone()
+    }
+
+    /// Copy every counter at this instant. Callable from any thread while
+    /// the gateway runs.
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        let workers: Vec<WorkerSnapshot> = self.per_worker.iter().map(|w| w.snapshot()).collect();
+        GatewaySnapshot {
+            samples_in: self.samples_in.load(Ordering::Relaxed),
+            chunks_in: self.chunks_in.load(Ordering::Relaxed),
+            packets_released: self.packets_released.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+            packets_decoded: workers.iter().map(|w| w.packets_decoded).sum(),
+            crc_failures: workers.iter().map(|w| w.crc_failures).sum(),
+            chunks_dropped: workers.iter().map(|w| w.chunks_dropped).sum(),
+            samples_dropped: workers.iter().map(|w| w.samples_dropped).sum(),
+            channelize: self.channelize.snapshot(),
+            decode: self.decode.snapshot(),
+            workers,
+        }
+    }
+}
+
+/// Point-in-time copy of all gateway telemetry.
+#[derive(Debug, Clone)]
+pub struct GatewaySnapshot {
+    /// Wideband samples accepted.
+    pub samples_in: u64,
+    /// Push calls accepted.
+    pub chunks_in: u64,
+    /// Packets released by the sink.
+    pub packets_released: u64,
+    /// Duplicates the sink suppressed.
+    pub duplicates_suppressed: u64,
+    /// CRC-passing packets, summed over workers.
+    pub packets_decoded: u64,
+    /// CRC-failing packets, summed over workers.
+    pub crc_failures: u64,
+    /// Dropped chunks, summed over workers.
+    pub chunks_dropped: u64,
+    /// Dropped samples, summed over workers.
+    pub samples_dropped: u64,
+    /// Channelizer latency histogram.
+    pub channelize: HistogramSnapshot,
+    /// Decode latency histogram.
+    pub decode: HistogramSnapshot,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(1024)); // bucket 10
+        h.record(Duration::from_secs(3600)); // clamped to last bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.max_bucket_ns(), 1 << (HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(300));
+        let s = h.snapshot();
+        assert_eq!(s.total_ns, 400);
+        assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                total_ns: 0,
+                buckets: vec![]
+            }
+            .mean_ns(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn snapshot_aggregates_workers() {
+        let stats = GatewayStats::new(&[(0, 7), (1, 9)]);
+        stats
+            .worker(0)
+            .packets_decoded
+            .fetch_add(3, Ordering::Relaxed);
+        stats
+            .worker(1)
+            .packets_decoded
+            .fetch_add(2, Ordering::Relaxed);
+        stats.worker(1).crc_failures.fetch_add(1, Ordering::Relaxed);
+        stats
+            .worker(0)
+            .chunks_dropped
+            .fetch_add(4, Ordering::Relaxed);
+        let s = stats.snapshot();
+        assert_eq!(s.packets_decoded, 5);
+        assert_eq!(s.crc_failures, 1);
+        assert_eq!(s.chunks_dropped, 4);
+        assert_eq!(s.workers[1].sf, 9);
+        assert_eq!(s.workers[1].packets_decoded, 2);
+    }
+}

@@ -176,8 +176,7 @@ mod tests {
             }
             for b1 in 0..8 {
                 for b2 in (b1 + 1)..8 {
-                    let (_, status) =
-                        decode_codeword(cw ^ (1 << b1) ^ (1 << b2), CodeRate::Cr48);
+                    let (_, status) = decode_codeword(cw ^ (1 << b1) ^ (1 << b2), CodeRate::Cr48);
                     assert_eq!(status, DecodeStatus::Detected, "double flip {b1},{b2}");
                 }
             }

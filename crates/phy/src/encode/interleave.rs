@@ -78,7 +78,11 @@ mod tests {
                     .map(|i| ((i * 73 + 29) as u8) & ((1u16 << cw_bits) - 1) as u8)
                     .collect();
                 let syms = interleave_block(&cws, sf, cw_bits);
-                assert_eq!(deinterleave_block(&syms, sf, cw_bits), cws, "sf{sf} cw{cw_bits}");
+                assert_eq!(
+                    deinterleave_block(&syms, sf, cw_bits),
+                    cws,
+                    "sf{sf} cw{cw_bits}"
+                );
             }
         }
     }
@@ -104,7 +108,7 @@ mod tests {
 
     #[test]
     fn zero_block_maps_to_zero_symbols() {
-        let syms = interleave_block(&vec![0u8; 8], 8, 5);
+        let syms = interleave_block(&[0u8; 8], 8, 5);
         assert!(syms.iter().all(|&s| s == 0));
     }
 

@@ -20,8 +20,8 @@
 
 pub mod crc;
 pub mod gray;
-pub mod header;
 pub mod hamming;
+pub mod header;
 pub mod interleave;
 pub mod whitening;
 
@@ -122,7 +122,7 @@ impl Codec {
         }
         // Pad to whole interleaver blocks with encoded zero nibbles so the
         // padding also survives the FEC path.
-        while codewords.len() % sf != 0 {
+        while !codewords.len().is_multiple_of(sf) {
             codewords.push(hamming::encode_nibble(0, self.cr));
         }
 
@@ -148,7 +148,7 @@ impl Codec {
         let sf = self.sf.value() as usize;
         let n_sym = self.sf.n_symbols();
         let cw_bits = self.cr.codeword_bits();
-        if symbols.len() % cw_bits != 0 {
+        if !symbols.len().is_multiple_of(cw_bits) {
             return Err(DecodeError::BadLength {
                 got: symbols.len(),
                 block: cw_bits,

@@ -99,7 +99,7 @@ impl LoraParams {
         if oversampling == 0 {
             return Err(ParamError::ZeroOversampling);
         }
-        if !(bandwidth_hz > 0.0) {
+        if bandwidth_hz.is_nan() || bandwidth_hz <= 0.0 {
             return Err(ParamError::InvalidBandwidth);
         }
         Ok(Self {

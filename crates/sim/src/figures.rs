@@ -10,9 +10,10 @@ use lora_dsp::{Cf32, Spectrum};
 use lora_phy::chirp::symbol_waveform;
 use lora_phy::packet::Transceiver;
 use lora_phy::params::{CodeRate, LoraParams};
-use serde::Serialize;
 
 use crate::experiment::run_all;
+use crate::json::{JsonValue, ToJson};
+use crate::json_object;
 use crate::scenario::Scenario;
 use crate::schemes::Scheme;
 
@@ -70,8 +71,9 @@ pub fn fig15_uncertainty(params: &LoraParams) -> Vec<(f64, Spectrum, usize)> {
             let resolved = peaks
                 .iter()
                 .filter(|p| {
-                    bins.iter()
-                        .any(|&b| lora_dsp::peaks::cyclic_bin_distance(p.bin, b, params.n_bins()) <= 2)
+                    bins.iter().any(|&b| {
+                        lora_dsp::peaks::cyclic_bin_distance(p.bin, b, params.n_bins()) <= 2
+                    })
                 })
                 .count();
             (frac, spec, resolved)
@@ -132,7 +134,7 @@ pub fn fig12_14_spectra(params: &LoraParams, seed: u64) -> (Spectrum, Spectrum, 
 }
 
 /// One cell of the Fig 17 (E3) cancellation surface.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CancellationCell {
     /// Interferer boundary distance as a fraction of `T_s`.
     pub dtau_frac: f64,
@@ -140,6 +142,16 @@ pub struct CancellationCell {
     pub df_frac: f64,
     /// Suppression of the interferer relative to the wanted peak, dB.
     pub cancellation_db: f64,
+}
+
+impl ToJson for CancellationCell {
+    fn to_json_value(&self) -> JsonValue {
+        json_object! {
+            "dtau_frac" => self.dtau_frac,
+            "df_frac" => self.df_frac,
+            "cancellation_db" => self.cancellation_db,
+        }
+    }
 }
 
 /// Fig 17 (E3): cancellation depth as a function of (Δτ/T_s, Δf/B) for a
@@ -221,7 +233,7 @@ pub fn fig27_snr(seed: u64) -> Vec<(DeploymentKind, Vec<f64>)> {
 }
 
 /// One row of a capacity / detection figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Offered aggregate load, pkt/s.
     pub rate_pps: f64,
@@ -235,6 +247,19 @@ pub struct SweepRow {
     pub transmitted: usize,
     /// Packets decoded.
     pub decoded: usize,
+}
+
+impl ToJson for SweepRow {
+    fn to_json_value(&self) -> JsonValue {
+        json_object! {
+            "rate_pps" => self.rate_pps,
+            "scheme" => self.scheme,
+            "throughput_pps" => self.throughput_pps,
+            "detection_rate" => self.detection_rate,
+            "transmitted" => self.transmitted,
+            "decoded" => self.decoded,
+        }
+    }
 }
 
 /// Figs 28–31 + 32–35 (E6, E7): sweep offered load for one deployment
@@ -268,7 +293,7 @@ pub fn capacity_sweep(
 }
 
 /// One row of a multi-seed sweep with confidence information.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StatsRow {
     /// Offered aggregate load, pkt/s.
     pub rate_pps: f64,
@@ -282,6 +307,19 @@ pub struct StatsRow {
     pub detection_mean: f64,
     /// Number of seeds.
     pub n_seeds: usize,
+}
+
+impl ToJson for StatsRow {
+    fn to_json_value(&self) -> JsonValue {
+        json_object! {
+            "rate_pps" => self.rate_pps,
+            "scheme" => self.scheme,
+            "throughput_mean" => self.throughput_mean,
+            "throughput_std" => self.throughput_std,
+            "detection_mean" => self.detection_mean,
+            "n_seeds" => self.n_seeds,
+        }
+    }
 }
 
 /// Multi-seed version of [`capacity_sweep`]: repeats every (rate, scheme)
@@ -343,12 +381,21 @@ pub fn ablation_sweep(deployment: DeploymentKind, scale: &ScaleConfig) -> Vec<Sw
 }
 
 /// One point of the Fig 38 (E9) close-collision study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SerPoint {
     /// Boundary offset as a fraction of the symbol time.
     pub dtau_frac: f64,
     /// Symbol error rate over both packets.
     pub ser: f64,
+}
+
+impl ToJson for SerPoint {
+    fn to_json_value(&self) -> JsonValue {
+        json_object! {
+            "dtau_frac" => self.dtau_frac,
+            "ser" => self.ser,
+        }
+    }
 }
 
 /// Fig 38 (E9): two packets superposed with a controlled sub-symbol
@@ -417,12 +464,7 @@ pub fn fig38_close_collisions(
                         .find(|p| p.detection.frame_start.abs_diff(start) <= sps / 2)
                     {
                         Some(p) => {
-                            errors += p
-                                .symbols
-                                .iter()
-                                .zip(truth)
-                                .filter(|(a, b)| a != b)
-                                .count();
+                            errors += p.symbols.iter().zip(truth).filter(|(a, b)| a != b).count();
                             errors += truth.len().saturating_sub(p.symbols.len());
                         }
                         // Undetected packet: every symbol is lost.

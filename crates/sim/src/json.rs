@@ -1,0 +1,231 @@
+//! Hand-rolled JSON emission for result archiving. The build environment
+//! has no crates.io access, so instead of serde this module provides a
+//! tiny value tree ([`JsonValue`]), a [`ToJson`] conversion trait, and a
+//! pretty printer matching `serde_json::to_string_pretty`'s layout
+//! (2-space indent). Emission only — nothing here parses JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite floats render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Render with 2-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    // Rust's shortest-round-trip float formatting is valid
+                    // JSON for all finite values.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`JsonValue`] (the serde `Serialize` stand-in).
+pub trait ToJson {
+    /// Build the value tree for `self`.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str((*self).to_string())
+    }
+}
+
+macro_rules! num_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Num(*self as f64)
+            }
+        }
+    )*};
+}
+num_to_json!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (*self).to_json_value()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+/// Build a [`JsonValue::Object`] from `"key" => value` pairs, converting
+/// each value with [`ToJson`].
+#[macro_export]
+macro_rules! json_object {
+    ($($key:literal => $value:expr),* $(,)?) => {
+        $crate::json::JsonValue::Object(vec![
+            $(($key.to_string(), $crate::json::ToJson::to_json_value(&$value))),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.pretty(), "null");
+        assert_eq!(true.to_json_value().pretty(), "true");
+        assert_eq!(2.5f64.to_json_value().pretty(), "2.5");
+        assert_eq!(7usize.to_json_value().pretty(), "7");
+        assert_eq!(f64::NAN.to_json_value().pretty(), "null");
+        assert_eq!("a\"b\\c\nd".to_json_value().pretty(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn nested_pretty_layout() {
+        let v = json_object! {
+            "name" => "run",
+            "rows" => vec![1.0f64, 2.0],
+            "empty" => JsonValue::Array(vec![]),
+        };
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"name\": \"run\",\n  \"rows\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn tuples_become_pairs() {
+        let v = vec![("a".to_string(), vec![1.0f64])];
+        assert_eq!(
+            v.to_json_value().pretty(),
+            "[\n  [\n    \"a\",\n    [\n      1\n    ]\n  ]\n]"
+        );
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let s = "\u{1}";
+        assert_eq!(s.to_json_value().pretty(), "\"\\u0001\"");
+    }
+}

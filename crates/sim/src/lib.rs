@@ -14,6 +14,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
@@ -21,6 +22,7 @@ pub mod schemes;
 
 pub use experiment::{run, run_all, run_on_capture};
 pub use figures::ScaleConfig;
+pub use json::{JsonValue, ToJson};
 pub use metrics::RunMetrics;
 pub use scenario::{generate, Capture, Scenario, TruthPacket};
 pub use schemes::Scheme;

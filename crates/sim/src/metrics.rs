@@ -1,12 +1,13 @@
 //! Scoring receiver output against ground truth.
 
 use lora_baselines::RxPacket;
-use serde::Serialize;
 
+use crate::json::{JsonValue, ToJson};
+use crate::json_object;
 use crate::scenario::TruthPacket;
 
 /// Results of one (scenario, scheme) run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// Packets actually put on the air.
     pub transmitted: usize,
@@ -43,6 +44,18 @@ impl RunMetrics {
             0.0
         } else {
             self.decoded as f64 / self.transmitted as f64
+        }
+    }
+}
+
+impl ToJson for RunMetrics {
+    fn to_json_value(&self) -> JsonValue {
+        json_object! {
+            "transmitted" => self.transmitted,
+            "detected" => self.detected,
+            "decoded" => self.decoded,
+            "spurious" => self.spurious,
+            "duration_s" => self.duration_s,
         }
     }
 }

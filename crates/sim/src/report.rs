@@ -11,7 +11,9 @@ pub fn capacity_table(title: &str, rows: &[SweepRow]) -> String {
 
 /// Render a detection figure (Figs 32–35): cells = detection rate.
 pub fn detection_table(title: &str, rows: &[SweepRow]) -> String {
-    sweep_table(title, rows, |r| format!("{:7.1}%", 100.0 * r.detection_rate))
+    sweep_table(title, rows, |r| {
+        format!("{:7.1}%", 100.0 * r.detection_rate)
+    })
 }
 
 fn sweep_table(title: &str, rows: &[SweepRow], cell: impl Fn(&SweepRow) -> String) -> String {
@@ -21,7 +23,7 @@ fn sweep_table(title: &str, rows: &[SweepRow], cell: impl Fn(&SweepRow) -> Strin
         if !schemes.contains(&r.scheme) {
             schemes.push(r.scheme.clone());
         }
-        if !rates.iter().any(|&x| x == r.rate_pps) {
+        if !rates.contains(&r.rate_pps) {
             rates.push(r.rate_pps);
         }
     }
@@ -70,8 +72,8 @@ pub fn spectrum_ascii(spec: &lora_dsp::Spectrum, width: usize, height: usize) ->
 }
 
 /// Serialise any result set to pretty JSON (for archiving runs).
-pub fn to_json<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("results serialise")
+pub fn to_json<T: crate::json::ToJson + ?Sized>(value: &T) -> String {
+    value.to_json_value().pretty()
 }
 
 #[cfg(test)]

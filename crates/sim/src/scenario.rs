@@ -144,7 +144,10 @@ mod tests {
     fn packet_count_tracks_rate() {
         let c = generate(&scenario(30.0));
         let got = c.truth.len() as f64;
-        assert!((15.0..=45.0).contains(&got), "expected ~30 packets, got {got}");
+        assert!(
+            (15.0..=45.0).contains(&got),
+            "expected ~30 packets, got {got}"
+        );
     }
 
     #[test]

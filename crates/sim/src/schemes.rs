@@ -76,7 +76,12 @@ impl Scheme {
         payload_len: usize,
     ) -> Box<dyn CollisionReceiver> {
         match self {
-            Scheme::Cic => Box::new(CicScheme::new(params, cr, payload_len, CicConfig::default())),
+            Scheme::Cic => Box::new(CicScheme::new(
+                params,
+                cr,
+                payload_len,
+                CicConfig::default(),
+            )),
             Scheme::CicAblation(use_cfo, use_power) => Box::new(CicScheme::new(
                 params,
                 cr,

@@ -36,7 +36,11 @@ fn main() {
     let got = cic.argmax().unwrap().0;
     println!(
         "argmax = bin {got} {}",
-        if got == true_bin { "(correct)" } else { "(wrong)" }
+        if got == true_bin {
+            "(correct)"
+        } else {
+            "(wrong)"
+        }
     );
     assert_eq!(got, true_bin);
 }

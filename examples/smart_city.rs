@@ -20,7 +20,9 @@ fn main() {
     let scenario = Scenario::paper(DeploymentKind::D4OutdoorSubnoise, rate_pps, duration_s, 7);
     println!(
         "D4 outdoor smart-city deployment: {} nodes, {:.0} pkt/s offered for {:.1} s",
-        lora_channel::PAPER_NODE_COUNT, rate_pps, duration_s
+        lora_channel::PAPER_NODE_COUNT,
+        rate_pps,
+        duration_s
     );
 
     let capture = generate(&scenario);

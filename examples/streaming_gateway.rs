@@ -31,8 +31,11 @@ fn main() {
     // 16k-sample chunks ≈ 16 ms at 1 MHz — a typical SDR buffer.
     let chunk = 16_384;
     let mut decoded = 0usize;
+    let mut max_buffered = 0usize;
     for (i, c) in capture.samples.chunks(chunk).enumerate() {
-        for pkt in rx.push(c) {
+        let pkts = rx.push(c);
+        max_buffered = max_buffered.max(rx.buffered());
+        for pkt in pkts {
             decoded += pkt.ok() as usize;
             println!(
                 "t={:6.1} ms  frame@{:<8} cfo {:+6.2} bins  {}   [buffer: {} samples]",
@@ -46,12 +49,16 @@ fn main() {
     }
     for pkt in rx.flush() {
         decoded += pkt.ok() as usize;
-        println!("flush: frame@{} {}", pkt.detection.frame_start, if pkt.ok() { "decoded" } else { "CRC fail" });
+        println!(
+            "flush: frame@{} {}",
+            pkt.detection.frame_start,
+            if pkt.ok() { "decoded" } else { "CRC fail" }
+        );
     }
     println!(
         "\n{} / {} packets decoded with a buffer never exceeding {} samples",
         decoded,
         capture.truth.len(),
-        rx.buffered().max(1)
+        max_buffered
     );
 }

@@ -175,7 +175,12 @@ fn ablation_configs_still_decode_clean_packets() {
     let mut rng = StdRng::seed_from_u64(31);
     add_unit_noise(&mut rng, &mut cap);
     for (use_cfo, use_power) in [(true, true), (false, true), (true, false), (false, false)] {
-        let rx = CicReceiver::new(p, CodeRate::Cr45, 20, CicConfig::ablation(use_cfo, use_power));
+        let rx = CicReceiver::new(
+            p,
+            CodeRate::Cr45,
+            20,
+            CicConfig::ablation(use_cfo, use_power),
+        );
         let pkts = rx.receive(&cap);
         assert_eq!(pkts.len(), 1, "cfo={use_cfo} power={use_power}");
         assert_eq!(pkts[0].payload.as_deref(), Some(&payload(8)[..]));
