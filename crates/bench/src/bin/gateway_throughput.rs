@@ -1,24 +1,27 @@
-//! Gateway throughput benchmark: wideband samples/sec, decoded
-//! packets/sec and drop rate as a function of the decode worker count,
-//! written to `BENCH_gateway.json`.
+//! Gateway overload benchmark: packet delivery ratio as a function of
+//! offered load, for each overload policy, written to
+//! `BENCH_gateway.json`.
 //!
-//! One Poisson capture (4 channels × {SF7, SF9}) is synthesised once and
-//! replayed through a fresh [`lora_gateway::Gateway`] per configuration.
-//! The pool always has one streaming receiver per (channel, SF); the
-//! scaling knob is [`cic::CicConfig::decode_threads`], the per-receiver
-//! packet-decode parallelism, so total OS decode threads =
-//! `channels × SFs × decode_threads`.
+//! One Poisson capture (4 channels × {SF7, SF9}) is synthesised once.
+//! For every (policy, speed) pair it is replayed through a fresh
+//! [`lora_gateway::Gateway`] with small bounded queues, paced at
+//! `speed ×` real time — the offered-load axis. At low speed the pool
+//! keeps up and both policies deliver the same packets; as the speed
+//! rises past what the machine can decode, blind drop-oldest starts
+//! losing random sample gaps on every worker while the adaptive
+//! degradation ladder cuts decoder effort and sheds the expensive
+//! high-SF workers, holding on to more packets at the same load.
 //!
 //! Usage: `gateway_throughput [--duration <s>] [--seed <n>] [--rate <pps>]
 //! [--out <path>]`
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cic::CicConfig;
 use lora_channel::wideband::{generate_traffic, BandPlan, TrafficConfig};
 use lora_channel::{add_unit_noise, amplitude_for_snr};
 use lora_dsp::ChannelizerConfig;
-use lora_gateway::{Gateway, GatewayConfig};
+use lora_gateway::{Gateway, GatewayConfig, OverloadConfig, OverloadPolicy};
 use lora_phy::params::CodeRate;
 use lora_sim::json_object;
 use lora_sim::JsonValue;
@@ -28,6 +31,8 @@ use rand::SeedableRng;
 const PAYLOAD_LEN: usize = 16;
 const SFS: [u8; 2] = [7, 9];
 const CHUNK: usize = 1 << 14;
+/// Offered load, as a multiple of real time.
+const SPEEDS: [f64; 3] = [0.08, 0.25, 0.6];
 
 struct Opts {
     duration_s: f64,
@@ -40,7 +45,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\n\
          usage: gateway_throughput [--duration <s>] [--rate <pps>] [--seed <n>] [--out <path>]\n\
-         defaults: duration 0.25s, rate 45 pps, seed 11, out BENCH_gateway.json"
+         defaults: duration 0.25s, rate 110 pps, seed 11, out BENCH_gateway.json"
     );
     std::process::exit(2)
 }
@@ -49,7 +54,7 @@ fn parse_opts() -> Opts {
     let mut o = Opts {
         duration_s: 0.25,
         seed: 11,
-        rate_pps: 45.0,
+        rate_pps: 110.0,
         out: "BENCH_gateway.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -87,9 +92,31 @@ fn parse_opts() -> Opts {
     o
 }
 
+fn overload_config(policy: OverloadPolicy) -> OverloadConfig {
+    OverloadConfig {
+        policy,
+        tick: Duration::from_millis(2),
+        high_occupancy: 0.5,
+        low_occupancy: 0.1,
+        escalate_ticks: 4,
+        idle_timeout: Duration::from_secs(600),
+        ..OverloadConfig::default()
+    }
+}
+
+fn policy_name(policy: OverloadPolicy) -> &'static str {
+    match policy {
+        OverloadPolicy::DropOldest => "drop_oldest",
+        OverloadPolicy::Adaptive => "adaptive",
+    }
+}
+
 fn main() {
     let opts = parse_opts();
-    repro_bench::banner("BENCH gateway", "multi-channel gateway throughput");
+    repro_bench::banner(
+        "BENCH gateway",
+        "gateway PDR vs offered load per overload policy",
+    );
 
     let plan = BandPlan::uniform(4, 250e3, 500e3, 4, 4);
     let traffic = TrafficConfig {
@@ -116,61 +143,74 @@ fn main() {
     );
 
     let pool_workers = plan.n_channels() * SFS.len();
+    let chunk_air_s = CHUNK as f64 / plan.wideband_rate_hz();
     let mut rows = Vec::new();
-    for decode_threads in [1usize, 2, 4] {
-        let config = GatewayConfig {
-            channelizer: ChannelizerConfig::uniform(
-                plan.n_channels(),
-                plan.bandwidth_hz,
-                500e3,
-                plan.bandwidth_hz * plan.oversampling as f64,
-                plan.decimation,
-            ),
-            oversampling: plan.oversampling,
-            sfs: SFS.to_vec(),
-            code_rate: CodeRate::Cr45,
-            payload_len: PAYLOAD_LEN,
-            cic: CicConfig {
-                decode_threads,
-                ..CicConfig::default()
-            },
-            queue_capacity: 256,
-        };
-        let mut gw = Gateway::new(config);
-        let t0 = Instant::now();
-        for chunk in cap.samples.chunks(CHUNK) {
-            gw.push(chunk);
-        }
-        let (packets, snap) = gw.finish();
-        let wall_s = t0.elapsed().as_secs_f64();
+    for &speed in &SPEEDS {
+        let pace = Duration::from_secs_f64(chunk_air_s / speed);
+        for policy in [OverloadPolicy::DropOldest, OverloadPolicy::Adaptive] {
+            let config = GatewayConfig {
+                channelizer: ChannelizerConfig::uniform(
+                    plan.n_channels(),
+                    plan.bandwidth_hz,
+                    500e3,
+                    plan.bandwidth_hz * plan.oversampling as f64,
+                    plan.decimation,
+                ),
+                oversampling: plan.oversampling,
+                sfs: SFS.to_vec(),
+                code_rate: CodeRate::Cr45,
+                payload_len: PAYLOAD_LEN,
+                cic: CicConfig::default(),
+                queue_capacity: 4,
+                overload: overload_config(policy),
+            };
+            let mut gw = Gateway::new(config);
+            let t0 = Instant::now();
+            let mut delivered_ok = 0usize;
+            for chunk in cap.samples.chunks(CHUNK) {
+                gw.push(chunk);
+                std::thread::sleep(pace);
+                delivered_ok += gw.poll_packets().iter().filter(|p| p.packet.ok()).count();
+            }
+            let (rest, snap) = gw.finish();
+            delivered_ok += rest.iter().filter(|p| p.packet.ok()).count();
+            let wall_s = t0.elapsed().as_secs_f64();
 
-        let decoded_ok = packets.iter().filter(|p| p.packet.ok()).count();
-        let samples_per_sec = snap.samples_in as f64 / wall_s;
-        let packets_per_sec = decoded_ok as f64 / wall_s;
-        // Fraction of enqueued channel-rate samples shed by drop-oldest.
-        let enqueued = snap.samples_in / plan.decimation as u64 * SFS.len() as u64;
-        let drop_rate = snap.samples_dropped as f64 / enqueued.max(1) as f64;
-        println!(
-            "decode_threads {decode_threads} ({} OS threads): \
-             {samples_per_sec:.3e} samples/s, {packets_per_sec:.1} pkt/s, \
-             drop rate {drop_rate:.4}, decode mean {:.2} ms",
-            pool_workers * decode_threads,
-            snap.decode.mean_ns() / 1e6,
-        );
-        rows.push(json_object! {
-            "decode_threads" => decode_threads,
-            "total_decode_threads" => pool_workers * decode_threads,
-            "samples_per_sec" => samples_per_sec,
-            "packets_per_sec" => packets_per_sec,
-            "drop_rate" => drop_rate,
-            "wall_s" => wall_s,
-            "packets_released" => snap.packets_released,
-            "packets_decoded" => snap.packets_decoded,
-            "crc_failures" => snap.crc_failures,
-            "chunks_dropped" => snap.chunks_dropped,
-            "channelize_mean_ns" => snap.channelize.mean_ns(),
-            "decode_mean_ns" => snap.decode.mean_ns(),
-        });
+            let pdr = delivered_ok as f64 / cap.truth.len().max(1) as f64;
+            let samples_per_sec = snap.samples_in as f64 / wall_s;
+            println!(
+                "speed {speed:>4.1}x  {:>11}: PDR {pdr:.3} ({delivered_ok}/{}), \
+                 {samples_per_sec:.3e} samples/s, degrades {}, shed {:.2}s, \
+                 chunks shed {}, chunks dropped {}",
+                policy_name(policy),
+                cap.truth.len(),
+                snap.degrade_events,
+                snap.shed_seconds,
+                snap.chunks_shed,
+                snap.chunks_dropped,
+            );
+            rows.push(json_object! {
+                "policy" => policy_name(policy),
+                "offered_x_realtime" => speed,
+                "pdr" => pdr,
+                "delivered_ok" => delivered_ok,
+                "transmissions" => cap.truth.len(),
+                "samples_per_sec" => samples_per_sec,
+                "wall_s" => wall_s,
+                "packets_released" => snap.packets_released,
+                "packets_decoded" => snap.packets_decoded,
+                "crc_failures" => snap.crc_failures,
+                "chunks_dropped" => snap.chunks_dropped,
+                "samples_dropped" => snap.samples_dropped,
+                "chunks_shed" => snap.chunks_shed,
+                "samples_shed" => snap.samples_shed,
+                "degrade_events" => snap.degrade_events,
+                "restore_events" => snap.restore_events,
+                "shed_seconds" => snap.shed_seconds,
+                "channelize_mean_ns" => snap.channelize.mean_ns(),
+                "decode_mean_ns" => snap.decode.mean_ns(),
+            });
+        }
     }
 
     let doc = json_object! {
@@ -179,11 +219,13 @@ fn main() {
         "n_channels" => plan.n_channels(),
         "sfs" => SFS.iter().map(|&s| s as usize).collect::<Vec<_>>(),
         "pool_workers" => pool_workers,
+        "queue_capacity" => 4,
         "capture_samples" => cap.samples.len(),
         "transmissions" => cap.truth.len(),
         "rate_pps" => opts.rate_pps,
         "duration_s" => opts.duration_s,
         "seed" => opts.seed,
+        "speeds" => SPEEDS.to_vec(),
         "rows" => JsonValue::Array(rows),
     };
     std::fs::write(&opts.out, doc.pretty() + "\n").expect("write BENCH_gateway.json");

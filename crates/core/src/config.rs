@@ -91,6 +91,31 @@ impl CicConfig {
         }
     }
 
+    /// A reduced-effort variant of this configuration, for load-aware
+    /// degradation at an overloaded gateway. Rung 0 is `self` unchanged;
+    /// rung 1 disables the iterative re-decode passes (the cheapest
+    /// accuracy to give back: passes only help failed packets inside
+    /// collisions); rung 2 additionally narrows the disambiguation search
+    /// (fewer candidates, fewer SED windows, coarser CFO zoom). Rungs
+    /// beyond [`CicConfig::MAX_EFFORT_RUNG`] clamp.
+    pub fn effort_rung(&self, rung: usize) -> Self {
+        let mut c = self.clone();
+        if rung >= 1 {
+            c.decode_passes = 1;
+        }
+        if rung >= 2 {
+            c.max_candidates = c.max_candidates.min(4);
+            c.sed_windows = c.sed_windows.min(4);
+            c.cfo_fft_zoom = c.cfo_fft_zoom.min(8);
+        }
+        c
+    }
+
+    /// Highest rung at which [`CicConfig::effort_rung`] still changes
+    /// anything; beyond this, the only remaining degradation is shedding
+    /// work entirely.
+    pub const MAX_EFFORT_RUNG: usize = 2;
+
     /// Label used in ablation reports.
     pub fn ablation_label(&self) -> &'static str {
         match (self.use_cfo_filter, self.use_power_filter) {

@@ -78,6 +78,14 @@ impl CicReceiver {
         &self.config
     }
 
+    /// Replace the configuration at runtime. Effort knobs
+    /// (`decode_passes`, candidate limits, SED windows, thread count) take
+    /// effect on the next `receive*` call; parameters and payload length
+    /// are fixed at construction and unaffected.
+    pub fn set_config(&mut self, config: CicConfig) {
+        self.config = config;
+    }
+
     /// Expected number of data symbols per packet.
     pub fn n_data_symbols(&self) -> usize {
         self.codec.n_symbols(self.payload_len)

@@ -45,6 +45,15 @@ impl StreamingReceiver {
         &self.rx
     }
 
+    /// Swap the decoder configuration at runtime (e.g. a gateway lowering
+    /// `decode_passes` under load). Applies from the next push; buffered
+    /// samples, position and the emission history are untouched. The
+    /// memory bound and [`Self::holdback`] depend only on the fixed
+    /// parameters, so they are unaffected.
+    pub fn set_config(&mut self, config: CicConfig) {
+        self.rx.set_config(config);
+    }
+
     /// Total samples consumed so far.
     pub fn position(&self) -> usize {
         self.origin + self.buffer.len()
@@ -102,28 +111,54 @@ impl StreamingReceiver {
         out
     }
 
-    /// Drain: decode anything decodable in the remaining buffer, even if
-    /// that means giving up on packets that would have needed more
-    /// samples. Call once at end of stream.
-    pub fn flush(&mut self) -> Vec<DecodedPacket> {
-        let out = self.process_inner(true);
+    /// Decode what the buffer holds and reset it. `draining` selects the
+    /// end-of-stream semantics of [`Self::flush`]; `false` keeps the
+    /// edge-hold and front-margin suppressions of `push`, for resets
+    /// mid-stream where an edge detection has no later context to be
+    /// re-evaluated against and must not be trusted.
+    fn flush_with(&mut self, draining: bool) -> Vec<DecodedPacket> {
+        let out = self.process_inner(draining);
         self.origin += self.buffer.len();
         self.buffer.clear();
         self.emitted.clear();
         out
     }
 
+    /// Drain: decode anything decodable in the remaining buffer, even if
+    /// that means giving up on packets that would have needed more
+    /// samples. Call once at end of stream.
+    pub fn flush(&mut self) -> Vec<DecodedPacket> {
+        self.flush_with(true)
+    }
+
+    /// Quiesce an idle stream: emit every packet that already passed the
+    /// normal `push` suppressions, then reset the buffer so that no
+    /// future packet can start before [`Self::position`]. Lets a merger
+    /// release everything up to `position()` instead of holding the
+    /// [`Self::holdback`] margin while the stream is silent. A packet
+    /// only partially received when `quiesce` is called is given up, so
+    /// call it on sustained inactivity, not between routine chunks.
+    pub fn quiesce(&mut self) -> Vec<DecodedPacket> {
+        self.flush_with(false)
+    }
+
     /// Jump the stream head forward to absolute sample `position`:
     /// samples in between were lost upstream (e.g. an overloaded queue
     /// dropped them). Whatever the current buffer still holds is decoded
-    /// with drain semantics and returned; the receiver then continues
-    /// cleanly from `position`, with packets straddling the gap given up.
+    /// and returned; the receiver then continues cleanly from `position`,
+    /// with packets straddling the gap given up. Unlike [`Self::flush`],
+    /// the edge-hold and front-margin suppressions of `push` stay active:
+    /// a detection at the buffer edge may be an artifact of the partial
+    /// view (or a shifted alias of an already-emitted packet whose
+    /// preamble was evicted), and with the following samples lost there
+    /// will never be context to re-evaluate it — emitting here would turn
+    /// every queue-overflow gap into a source of alias packets.
     /// Positions at or behind the current head are a no-op.
     pub fn seek_to(&mut self, position: usize) -> Vec<DecodedPacket> {
         if position <= self.position() {
             return Vec::new();
         }
-        let out = self.flush();
+        let out = self.flush_with(false);
         self.origin = position;
         out
     }
@@ -341,6 +376,105 @@ mod tests {
         }
         got.extend(s.flush());
         // Packets 1, 2 and 3 all arrive, with absolute stream positions.
+        assert_eq!(got.len(), 3);
+        got.sort_by_key(|p| p.detection.frame_start);
+        for (pkt, (ts, tp)) in got.iter().zip(&truth) {
+            assert!(pkt.detection.frame_start.abs_diff(*ts) <= 4);
+            assert_eq!(pkt.payload.as_deref(), Some(&tp[..]));
+        }
+    }
+
+    #[test]
+    fn seek_gap_keeps_push_suppressions() {
+        // Regression: `seek_to` used to flush with full drain semantics,
+        // bypassing the edge-hold (and front-margin) suppressions `push`
+        // applies. A complete frame sitting inside the edge-hold margin at
+        // the moment of an upstream gap is exactly the detection `push`
+        // refuses to trust without later context — and across a gap that
+        // context never comes, so the seek must not emit it either.
+        let (cap, truth) = capture();
+        let p = params();
+        let frame = Transceiver::new(p, CodeRate::Cr45).frame_samples(14);
+        let mut s = StreamingReceiver::new(p, CodeRate::Cr45, 14, CicConfig::default());
+        // Feed to exactly the end of packet 1's frame: complete in the
+        // buffer, but held back by the two-symbol emission margin.
+        let cut = truth[0].0 + frame;
+        let mut emitted = Vec::new();
+        for c in cap[..cut].chunks(4096) {
+            emitted.extend(s.push(c));
+        }
+        assert!(
+            emitted.is_empty(),
+            "edge-held packet must not have been emitted by push yet"
+        );
+        // An overloaded queue drops everything up to mid-capture.
+        let resume = truth[2].0 - 2 * p.samples_per_symbol();
+        let at_seek = s.seek_to(resume);
+        assert!(
+            at_seek.is_empty(),
+            "seek flush must keep the edge-hold suppression, got {:?}",
+            at_seek
+                .iter()
+                .map(|pk| pk.detection.frame_start)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(s.position(), resume);
+        // The stream continues cleanly: the packet after the gap decodes
+        // at its absolute position.
+        let mut rest = Vec::new();
+        for c in cap[resume..].chunks(4096) {
+            rest.extend(s.push(c));
+        }
+        rest.extend(s.flush());
+        assert_eq!(rest.len(), 1);
+        assert!(rest[0].detection.frame_start.abs_diff(truth[2].0) <= 4);
+        assert_eq!(rest[0].payload.as_deref(), Some(&truth[2].1[..]));
+    }
+
+    #[test]
+    fn quiesce_releases_holdback_and_resumes() {
+        // After a quiesce the receiver owes nothing before `position()`:
+        // an emitted packet plus a cleared buffer, and the next pushes
+        // decode later packets at absolute positions as usual.
+        let (cap, truth) = capture();
+        let p = params();
+        let frame = Transceiver::new(p, CodeRate::Cr45).frame_samples(14);
+        let mut s = StreamingReceiver::new(p, CodeRate::Cr45, 14, CicConfig::default());
+        // Feed far enough that packets 1 and 2 are emitted by push.
+        let fed = truth[1].0 + frame + 4 * p.samples_per_symbol();
+        let mut got = Vec::new();
+        for c in cap[..fed].chunks(8192) {
+            got.extend(s.push(c));
+        }
+        assert_eq!(got.len(), 2);
+        let pos = s.position();
+        assert!(s.quiesce().is_empty(), "no edge detections in the lull");
+        assert_eq!(s.position(), pos, "quiesce never moves the stream head");
+        assert_eq!(s.buffered(), 0);
+        // The stream resumes contiguously.
+        for c in cap[fed..].chunks(8192) {
+            got.extend(s.push(c));
+        }
+        got.extend(s.flush());
+        assert_eq!(got.len(), 3);
+        assert!(got[2].detection.frame_start.abs_diff(truth[2].0) <= 4);
+        assert_eq!(got[2].payload.as_deref(), Some(&truth[2].1[..]));
+    }
+
+    #[test]
+    fn set_config_applies_to_later_pushes() {
+        let (cap, truth) = capture();
+        let mut s = StreamingReceiver::new(params(), CodeRate::Cr45, 14, CicConfig::default());
+        let mut got = Vec::new();
+        for (i, c) in cap.chunks(8192).enumerate() {
+            if i == 4 {
+                s.set_config(CicConfig::default().effort_rung(CicConfig::MAX_EFFORT_RUNG));
+            }
+            got.extend(s.push(c));
+        }
+        got.extend(s.flush());
+        // This capture's packets are clean enough to decode at the lowest
+        // effort rung; the swap itself must not disturb the stream state.
         assert_eq!(got.len(), 3);
         got.sort_by_key(|p| p.detection.frame_start);
         for (pkt, (ts, tp)) in got.iter().zip(&truth) {

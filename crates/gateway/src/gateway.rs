@@ -1,5 +1,6 @@
 //! The gateway runtime: channelizer front end, per-(channel, SF) worker
-//! pool, and the merged time-ordered packet stream.
+//! pool, overload control plane, and the merged time-ordered packet
+//! stream.
 //!
 //! Dataflow (one box per thread):
 //!
@@ -11,23 +12,34 @@
 //!                  ┌─────┴─────┐   ┌─────┴─────┐
 //!                  ▼           ▼   ▼           ▼
 //!             [queue 0,SF7] [queue 0,SF9] …        bounded, drop-oldest
-//!                  │           │
-//!                  ▼           ▼
-//!             worker thread  worker thread          StreamingReceiver
-//!             (CIC decode)   (CIC decode)           per (channel, SF)
+//!                  │           │                        ▲ depth gauges
+//!                  ▼           ▼                        │
+//!             worker thread  worker thread   ◀── policy thread
+//!             (CIC decode)   (CIC decode)        (degradation ladder)
 //!                  └─────┬─────┘
 //!                        ▼
 //!                  PacketSink  ─▶ time-ordered, deduplicated packets
 //! ```
 //!
-//! Backpressure policy: `push` never blocks. Each worker's queue is
-//! bounded; when a decoder falls behind, the *oldest* queued chunk is
-//! dropped and counted ([`crate::stats::WorkerStats::chunks_dropped`]),
-//! and the worker resynchronises across the gap with
-//! [`StreamingReceiver::seek_to`] — packets straddling a gap are lost
-//! (and only those), packets entirely after it decode normally.
+//! Backpressure is layered ([`crate::load`]). `push` never blocks; when
+//! decoders fall behind under [`OverloadPolicy::Adaptive`] the policy
+//! thread first cuts decoder effort on hot workers
+//! ([`cic::CicConfig::effort_rung`]), then sheds whole high-SF workers
+//! (their chunks are discarded and counted, their watermarks keep
+//! advancing), and only load the ladder cannot absorb reaches the
+//! bounded queues' counted drop-oldest eviction — after which the worker
+//! resynchronises across the gap with [`StreamingReceiver::seek_to`].
+//! Recovery retraces the ladder upward under hysteresis.
+//!
+//! Liveness: a worker whose queue stays empty for
+//! [`crate::load::OverloadConfig::idle_timeout`] has caught up with
+//! everything channelized so far; it quiesces its receiver
+//! ([`StreamingReceiver::quiesce`]) and publishes a caught-up watermark
+//! at its full stream position, so a silent channel can never hold back
+//! the release of other workers' already-decoded packets while the
+//! producer pauses.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -36,7 +48,10 @@ use cic::{CicConfig, DecodedPacket, StreamingReceiver};
 use lora_dsp::{Cf32, Channelizer, ChannelizerConfig};
 use lora_phy::params::{CodeRate, LoraParams};
 
-use crate::queue::{Chunk, ChunkQueue};
+use crate::load::{
+    ControlAction, OverloadConfig, OverloadController, OverloadPolicy, WorkerControl, SHED_RUNG,
+};
+use crate::queue::{Chunk, ChunkQueue, Pop};
 use crate::sink::{GatewayPacket, PacketSink};
 use crate::stats::{GatewaySnapshot, GatewayStats, WorkerStats};
 
@@ -54,10 +69,13 @@ pub struct GatewayConfig {
     pub code_rate: CodeRate,
     /// Fixed payload length (implicit-header deployments).
     pub payload_len: usize,
-    /// CIC decoder configuration shared by all workers.
+    /// CIC decoder configuration shared by all workers (full-effort
+    /// baseline; the overload ladder derives reduced-effort variants).
     pub cic: CicConfig,
     /// Bounded queue capacity per worker, in chunks.
     pub queue_capacity: usize,
+    /// Overload policy and control-loop tuning.
+    pub overload: OverloadConfig,
 }
 
 impl GatewayConfig {
@@ -88,6 +106,11 @@ struct WorkerCtx {
     sink: Arc<PacketSink>,
     stats: Arc<GatewayStats>,
     wstats: Arc<WorkerStats>,
+    control: Arc<WorkerControl>,
+    /// Full-effort decoder configuration (rung 0 baseline).
+    base_cic: CicConfig,
+    /// How long an empty queue waits before the caught-up watermark.
+    idle_timeout: std::time::Duration,
     /// Wideband samples per channel sample.
     decimation: u64,
     /// Channel-filter group delay in wideband samples.
@@ -126,24 +149,142 @@ impl WorkerCtx {
 
 fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
     let holdback = sr.holdback();
-    while let Some(chunk) = ctx.queue.pop() {
-        let mut decoded = Vec::new();
-        // A start beyond our position means chunks were dropped: give up
-        // on anything straddling the gap and resynchronise.
-        if chunk.start > sr.position() {
-            decoded.extend(sr.seek_to(chunk.start));
+    // The effort rung the receiver's config currently reflects.
+    let mut applied_rung = 0usize;
+    // `Some(t)` while shed: entry time, for `shed_micros`.
+    let mut shed_since: Option<Instant> = None;
+    loop {
+        match ctx.queue.pop_timeout(ctx.idle_timeout) {
+            Pop::Closed => break,
+            Pop::Idle => {
+                // Caught up with everything produced so far. Emit what
+                // the buffer can still complete (keeping the push-time
+                // suppressions — this is not a drain) and publish a
+                // watermark at the *full* position: nothing we report
+                // later can start before it, because the buffer is empty.
+                if shed_since.is_none() {
+                    let out = sr.quiesce();
+                    ctx.deliver(out);
+                    ctx.sink
+                        .set_watermark(ctx.idx, ctx.to_wideband(sr.position()));
+                }
+            }
+            Pop::Chunk(chunk) => {
+                if ctx.control.is_shed() {
+                    if shed_since.is_none() {
+                        // Entering shed: quiesce first so every packet the
+                        // buffer still holds is emitted (or given up on)
+                        // before the watermark runs ahead of the decode.
+                        let out = sr.quiesce();
+                        ctx.deliver(out);
+                        shed_since = Some(Instant::now());
+                    }
+                    ctx.wstats.chunks_shed.fetch_add(1, Ordering::Relaxed);
+                    ctx.wstats
+                        .samples_shed
+                        .fetch_add(chunk.samples.len() as u64, Ordering::Relaxed);
+                    // The discarded span is gone for good; let the rest of
+                    // the gateway release past it.
+                    let end = chunk.start + chunk.samples.len();
+                    ctx.sink.set_watermark(ctx.idx, ctx.to_wideband(end));
+                    continue;
+                }
+                if let Some(t0) = shed_since.take() {
+                    ctx.wstats
+                        .shed_micros
+                        .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
+                let rung = ctx.control.rung();
+                if rung != applied_rung {
+                    sr.set_config(ctx.base_cic.effort_rung(rung));
+                    applied_rung = rung;
+                }
+                let mut decoded = Vec::new();
+                // A start beyond our position means chunks were dropped or
+                // shed: give up on anything straddling the gap and
+                // resynchronise.
+                if chunk.start > sr.position() {
+                    decoded.extend(sr.seek_to(chunk.start));
+                }
+                let t0 = Instant::now();
+                decoded.extend(sr.push(&chunk.samples));
+                let dt = t0.elapsed();
+                ctx.stats.decode.record(dt);
+                ctx.wstats.record_decode_ewma(dt);
+                ctx.deliver(decoded);
+                let safe = sr.position().saturating_sub(holdback);
+                ctx.sink.set_watermark(ctx.idx, ctx.to_wideband(safe));
+            }
         }
-        let t0 = Instant::now();
-        decoded.extend(sr.push(&chunk.samples));
-        ctx.stats.decode.record(t0.elapsed());
-        ctx.deliver(decoded);
-        let safe = sr.position().saturating_sub(holdback);
-        ctx.sink.set_watermark(ctx.idx, ctx.to_wideband(safe));
+    }
+    if let Some(t0) = shed_since.take() {
+        ctx.wstats
+            .shed_micros
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
     // Queue closed and drained: decode what the buffer still holds.
     let rest = sr.flush();
     ctx.deliver(rest);
     ctx.sink.finish_worker(ctx.idx);
+}
+
+/// The control plane: samples the queue-depth gauges every tick, runs the
+/// [`OverloadController`] ladder, and applies its transitions to the
+/// per-worker [`WorkerControl`] mailboxes and telemetry.
+fn policy_loop(
+    cfg: OverloadConfig,
+    worker_sfs: Vec<u8>,
+    queue_capacity: usize,
+    controls: Vec<Arc<WorkerControl>>,
+    wstats: Vec<Arc<WorkerStats>>,
+    stop: Arc<AtomicBool>,
+) {
+    let tick = cfg.tick;
+    let mut ctl = OverloadController::new(cfg, &worker_sfs);
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let depths: Vec<u64> = wstats
+            .iter()
+            .map(|w| w.queue_depth.load(Ordering::Relaxed))
+            .collect();
+        for action in ctl.tick(&depths, queue_capacity) {
+            match action {
+                ControlAction::SetRung {
+                    worker,
+                    rung,
+                    degrade,
+                } => {
+                    controls[worker].set_rung(rung);
+                    wstats[worker]
+                        .effort_rung
+                        .store(rung as u64, Ordering::Relaxed);
+                    let counter = if degrade {
+                        &wstats[worker].degrade_events
+                    } else {
+                        &wstats[worker].restore_events
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                ControlAction::Shed { workers, .. } => {
+                    for w in workers {
+                        controls[w].set_rung(SHED_RUNG);
+                        wstats[w]
+                            .effort_rung
+                            .store(SHED_RUNG as u64, Ordering::Relaxed);
+                        wstats[w].degrade_events.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                ControlAction::Restore { workers, .. } => {
+                    for w in workers {
+                        let rung = CicConfig::MAX_EFFORT_RUNG;
+                        controls[w].set_rung(rung);
+                        wstats[w].effort_rung.store(rung as u64, Ordering::Relaxed);
+                        wstats[w].restore_events.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A running multi-channel gateway. Feed wideband samples with
@@ -155,7 +296,11 @@ pub struct Gateway {
     queues: Vec<Arc<ChunkQueue>>,
     /// Channel index of each worker.
     worker_channel: Vec<usize>,
+    /// Per-worker control mailboxes (shared with the policy thread).
+    controls: Vec<Arc<WorkerControl>>,
     handles: Vec<JoinHandle<()>>,
+    policy_stop: Arc<AtomicBool>,
+    policy_handle: Option<JoinHandle<()>>,
     sink: Arc<PacketSink>,
     stats: Arc<GatewayStats>,
     /// Channel-stream samples produced so far, per channel.
@@ -163,7 +308,8 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Spawn the worker pool and return a ready gateway.
+    /// Spawn the worker pool (and, under the adaptive policy, the control
+    /// thread) and return a ready gateway.
     pub fn new(config: GatewayConfig) -> Self {
         assert!(!config.sfs.is_empty(), "need at least one spreading factor");
         let workers = config.workers();
@@ -181,10 +327,12 @@ impl Gateway {
 
         let mut queues = Vec::with_capacity(workers.len());
         let mut worker_channel = Vec::with_capacity(workers.len());
+        let mut controls = Vec::with_capacity(workers.len());
         let mut handles = Vec::with_capacity(workers.len());
         for (idx, &(channel, sf)) in workers.iter().enumerate() {
             let wstats = stats.worker(idx);
             let queue = Arc::new(ChunkQueue::new(config.queue_capacity, wstats.clone()));
+            let control = Arc::new(WorkerControl::new());
             let sr = StreamingReceiver::new(
                 config.channel_params(sf),
                 config.code_rate,
@@ -199,6 +347,9 @@ impl Gateway {
                 sink: sink.clone(),
                 stats: stats.clone(),
                 wstats,
+                control: control.clone(),
+                base_cic: config.cic.clone(),
+                idle_timeout: config.overload.idle_timeout,
                 decimation,
                 delay_wideband,
             };
@@ -210,22 +361,45 @@ impl Gateway {
             );
             queues.push(queue);
             worker_channel.push(channel);
+            controls.push(control);
         }
+
+        let policy_stop = Arc::new(AtomicBool::new(false));
+        let policy_handle = if config.overload.policy == OverloadPolicy::Adaptive {
+            let worker_sfs: Vec<u8> = workers.iter().map(|&(_, sf)| sf).collect();
+            let wstats: Vec<Arc<WorkerStats>> =
+                (0..workers.len()).map(|i| stats.worker(i)).collect();
+            let cfg = config.overload.clone();
+            let capacity = config.queue_capacity;
+            let ctrls = controls.clone();
+            let stop = policy_stop.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("gw-policy".into())
+                    .spawn(move || policy_loop(cfg, worker_sfs, capacity, ctrls, wstats, stop))
+                    .expect("spawn gateway policy thread"),
+            )
+        } else {
+            None
+        };
 
         Self {
             channelizer,
             queues,
             worker_channel,
+            controls,
             handles,
+            policy_stop,
+            policy_handle,
             sink,
             stats,
             produced: vec![0; config.channelizer.n_channels()],
         }
     }
 
-    /// Feed a chunk of wideband samples. Never blocks: an overloaded
-    /// worker sheds its oldest queued chunk instead (counted in the
-    /// stats).
+    /// Feed a chunk of wideband samples. Never blocks: overload is
+    /// absorbed by the degradation ladder and, at the last resort, the
+    /// counted drop-oldest queues.
     pub fn push(&mut self, samples: &[Cf32]) {
         self.stats
             .samples_in
@@ -262,11 +436,19 @@ impl Gateway {
         self.stats.clone()
     }
 
-    /// End of stream: close all queues, wait for every worker to drain
-    /// and flush, and return the remaining merged packets (everything
-    /// since the last [`Gateway::poll_packets`] call) plus a final
-    /// telemetry snapshot.
+    /// End of stream: stop the control plane, restore every worker to
+    /// full effort so the drain decodes the backlog instead of shedding
+    /// it, close all queues, wait for every worker to drain and flush,
+    /// and return the remaining merged packets (everything since the last
+    /// [`Gateway::poll_packets`] call) plus a final telemetry snapshot.
     pub fn finish(self) -> (Vec<GatewayPacket>, GatewaySnapshot) {
+        self.policy_stop.store(true, Ordering::Release);
+        if let Some(h) = self.policy_handle {
+            h.join().expect("gateway policy thread panicked");
+        }
+        for c in &self.controls {
+            c.set_rung(0);
+        }
         for q in &self.queues {
             q.close();
         }
@@ -291,6 +473,7 @@ mod tests {
             payload_len: 16,
             cic: CicConfig::default(),
             queue_capacity: 64,
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -332,5 +515,22 @@ mod tests {
         assert_eq!(snap.chunks_in, 8);
         assert!(snap.channelize.count == 8);
         assert!(snap.decode.count > 0);
+    }
+
+    #[test]
+    fn idle_system_never_degrades() {
+        // Silence at nominal rate: the adaptive policy must not touch
+        // anything.
+        let mut cfg = config();
+        cfg.overload.tick = std::time::Duration::from_millis(1);
+        let mut gw = Gateway::new(cfg);
+        for _ in 0..4 {
+            gw.push(&vec![Cf32::new(0.0, 0.0); 4096]);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let (_, snap) = gw.finish();
+        assert_eq!(snap.degrade_events, 0);
+        assert_eq!(snap.chunks_shed, 0);
+        assert!(snap.workers.iter().all(|w| w.effort_rung == 0));
     }
 }

@@ -7,8 +7,12 @@
 //! * [`gateway`] — the [`Gateway`] itself: wideband samples in, a merged
 //!   time-ordered packet stream out, one decode thread per
 //!   (channel, spreading factor);
+//! * [`load`] — the adaptive overload control plane: a degradation
+//!   ladder that cuts decoder effort, then sheds whole spreading
+//!   factors, before any samples are dropped;
 //! * [`queue`] — bounded sample queues between the channelizer and the
-//!   workers, with a counted drop-oldest overload policy;
+//!   workers, with a counted drop-oldest overload policy as the last
+//!   resort;
 //! * [`sink`] — the watermark-based merge of all worker outputs into one
 //!   time-ordered, duplicate-suppressed stream;
 //! * [`stats`] — [`GatewayStats`]: atomic counters and log2 latency
@@ -19,11 +23,16 @@
 //! `lora_channel::wideband`.
 
 pub mod gateway;
+pub mod load;
 pub mod queue;
 pub mod sink;
 pub mod stats;
 
 pub use gateway::{Gateway, GatewayConfig};
-pub use queue::{Chunk, ChunkQueue};
+pub use load::{
+    ControlAction, LoadMonitor, OverloadConfig, OverloadController, OverloadPolicy, WorkerControl,
+    SHED_RUNG,
+};
+pub use queue::{Chunk, ChunkQueue, Pop};
 pub use sink::{GatewayPacket, PacketSink};
 pub use stats::{GatewaySnapshot, GatewayStats, HistogramSnapshot, LatencyHistogram, WorkerStats};

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use lora_dsp::Cf32;
 
@@ -29,6 +30,16 @@ pub struct Chunk {
 struct Inner {
     queue: VecDeque<Chunk>,
     closed: bool,
+}
+
+/// Outcome of a [`ChunkQueue::pop_timeout`].
+pub enum Pop {
+    /// The next chunk, in order.
+    Chunk(Chunk),
+    /// The queue stayed empty (and open) for the whole timeout.
+    Idle,
+    /// The queue is closed and fully drained.
+    Closed,
 }
 
 /// Bounded MPSC chunk queue (in practice SPSC: one channelizer feeding
@@ -58,11 +69,17 @@ impl ChunkQueue {
 
     /// Enqueue a chunk, evicting the oldest entries if the queue is full.
     /// Returns the number of chunks dropped to make room (0 in normal
-    /// operation). Pushing to a closed queue is a no-op.
+    /// operation). Pushing to a closed queue discards the chunk — and
+    /// counts it: losses in the shutdown window are real losses and must
+    /// show up in telemetry, not vanish.
     pub fn push(&self, chunk: Chunk) -> usize {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
-            return 0;
+            self.stats
+                .samples_dropped
+                .fetch_add(chunk.samples.len() as u64, Ordering::Relaxed);
+            self.stats.chunks_dropped.fetch_add(1, Ordering::Relaxed);
+            return 1;
         }
         let mut dropped = 0;
         while inner.queue.len() >= self.capacity {
@@ -77,6 +94,9 @@ impl ChunkQueue {
         self.stats
             .queue_depth_hwm
             .fetch_max(inner.queue.len() as u64, Ordering::Relaxed);
+        self.stats
+            .queue_depth
+            .store(inner.queue.len() as u64, Ordering::Relaxed);
         drop(inner);
         self.ready.notify_one();
         dropped
@@ -85,15 +105,37 @@ impl ChunkQueue {
     /// Dequeue the next chunk, blocking while the queue is empty and
     /// open. Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<Chunk> {
+        loop {
+            match self.pop_timeout(Duration::from_secs(3600)) {
+                Pop::Chunk(c) => return Some(c),
+                Pop::Idle => continue,
+                Pop::Closed => return None,
+            }
+        }
+    }
+
+    /// Dequeue the next chunk, waiting at most `timeout` while the queue
+    /// is empty and open. [`Pop::Idle`] means the queue stayed empty for
+    /// the whole timeout — the consumer has caught up with everything
+    /// produced so far and can publish a caught-up watermark instead of
+    /// silently stalling downstream release.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(chunk) = inner.queue.pop_front() {
-                return Some(chunk);
+                self.stats
+                    .queue_depth
+                    .store(inner.queue.len() as u64, Ordering::Relaxed);
+                return Pop::Chunk(chunk);
             }
             if inner.closed {
-                return None;
+                return Pop::Closed;
             }
-            inner = self.ready.wait(inner).unwrap();
+            let (guard, res) = self.ready.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if res.timed_out() && inner.queue.is_empty() && !inner.closed {
+                return Pop::Idle;
+            }
         }
     }
 
@@ -164,11 +206,57 @@ mod tests {
         q.push(chunk(0, 4));
         q.push(chunk(4, 4));
         q.close();
-        assert_eq!(q.push(chunk(8, 4)), 0); // ignored
+        assert_eq!(q.push(chunk(8, 4)), 1); // discarded, counted
         assert_eq!(q.pop().unwrap().start, 0);
         assert_eq!(q.pop().unwrap().start, 4);
         assert!(q.pop().is_none());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn closed_queue_push_counts_the_loss() {
+        // Regression: pushing to a closed queue silently discarded the
+        // chunk without touching `samples_dropped`/`chunks_dropped`, so
+        // samples lost in the shutdown window were invisible in telemetry.
+        let (q, stats) = queue(4);
+        q.push(chunk(0, 10));
+        q.close();
+        assert_eq!(q.push(chunk(10, 25)), 1);
+        assert_eq!(q.push(chunk(35, 5)), 1);
+        assert_eq!(stats.chunks_dropped.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.samples_dropped.load(Ordering::Relaxed), 30);
+        // The chunk enqueued before the close still drains normally.
+        assert_eq!(q.pop().unwrap().start, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_timeout_reports_idle_then_data_then_close() {
+        let (q, _) = queue(4);
+        assert!(matches!(q.pop_timeout(Duration::from_millis(5)), Pop::Idle));
+        q.push(chunk(0, 4));
+        match q.pop_timeout(Duration::from_millis(5)) {
+            Pop::Chunk(c) => assert_eq!(c.start, 0),
+            _ => panic!("expected the queued chunk"),
+        }
+        q.close();
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Pop::Closed
+        ));
+    }
+
+    #[test]
+    fn depth_gauge_follows_push_and_pop() {
+        let (q, stats) = queue(8);
+        let depth = || stats.queue_depth.load(Ordering::Relaxed);
+        q.push(chunk(0, 1));
+        q.push(chunk(1, 1));
+        assert_eq!(depth(), 2);
+        q.pop();
+        assert_eq!(depth(), 1);
+        q.pop();
+        assert_eq!(depth(), 0);
     }
 
     #[test]

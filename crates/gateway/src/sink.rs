@@ -87,12 +87,17 @@ impl PacketSink {
         (1u64 << sf) * self.chip_wideband
     }
 
-    /// Report newly decoded packets from worker `worker`.
+    /// Report newly decoded packets. Packets already covered by the
+    /// current global watermark (possible when the reporting worker is
+    /// the laggard that defines the minimum) are released immediately —
+    /// they must not wait for some *other* worker's next watermark move.
     pub fn report(&self, packets: Vec<GatewayPacket>) {
         if packets.is_empty() {
             return;
         }
-        self.inner.lock().unwrap().pending.extend(packets);
+        let mut inner = self.inner.lock().unwrap();
+        inner.pending.extend(packets);
+        self.drain(&mut inner);
     }
 
     /// Advance worker `worker`'s watermark (monotone; lower values are
@@ -246,6 +251,24 @@ mod tests {
         let got = sink.take_released();
         assert_eq!(got.len(), 2);
         assert_eq!(s.snapshot().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn report_below_watermark_releases_immediately() {
+        // Regression: `report` used to only append to `pending`, so a
+        // packet already covered by the global watermark sat there until
+        // some worker next moved its watermark — a full chunk late, or
+        // forever if no further samples arrived before `finish`.
+        let sink = PacketSink::new(2, 16, 9, stats());
+        sink.set_watermark(0, 10_000);
+        sink.set_watermark(1, 8_000);
+        // Worker 1 (the laggard defining the minimum) now reports a
+        // packet below the watermark: it must come out without any
+        // further watermark movement.
+        sink.report(vec![pkt(1, 7, 5_000, b"late")]);
+        let got = sink.take_released();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start_wideband, 5_000);
     }
 
     #[test]

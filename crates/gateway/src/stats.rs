@@ -91,24 +91,46 @@ impl HistogramSnapshot {
     }
 }
 
-/// Per-worker counters. A worker owns one (channel, spreading factor)
-/// stream; its queue records overload here and its decode loop records
-/// outcomes.
+/// Per-worker counters and load gauges. A worker owns one
+/// (channel, spreading factor) stream; its queue records overload here,
+/// its decode loop records outcomes and latency, and the overload
+/// controller records degradation activity.
 pub struct WorkerStats {
     /// Channel index this worker consumes.
     pub channel: usize,
     /// Spreading factor this worker decodes.
     pub sf: u8,
-    /// Chunks evicted by the drop-oldest policy.
+    /// Chunks evicted by the drop-oldest policy, plus chunks discarded by
+    /// a closed queue during shutdown.
     pub chunks_dropped: AtomicU64,
-    /// Samples inside those evicted chunks.
+    /// Samples inside those evicted/discarded chunks.
     pub samples_dropped: AtomicU64,
     /// Highest queue depth (chunks) ever observed.
     pub queue_depth_hwm: AtomicU64,
+    /// Live queue depth (chunks) — a gauge, maintained by the queue.
+    pub queue_depth: AtomicU64,
     /// Packets decoded with a passing CRC.
     pub packets_decoded: AtomicU64,
     /// Packets demodulated but failing FEC/CRC.
     pub crc_failures: AtomicU64,
+    /// EWMA of per-push decode latency, nanoseconds — a gauge, maintained
+    /// by the decode loop (single writer).
+    pub decode_ewma_ns: AtomicU64,
+    /// Current effort rung — a gauge; 0 = full effort,
+    /// [`crate::load::SHED_RUNG`] = shed.
+    pub effort_rung: AtomicU64,
+    /// Chunks discarded while this worker was shed by the overload
+    /// policy (distinct from queue-overflow drops).
+    pub chunks_shed: AtomicU64,
+    /// Samples inside those shed chunks.
+    pub samples_shed: AtomicU64,
+    /// Downward ladder transitions applied to this worker (effort
+    /// reductions and sheds).
+    pub degrade_events: AtomicU64,
+    /// Upward ladder transitions (effort restores and un-sheds).
+    pub restore_events: AtomicU64,
+    /// Accumulated time spent shed, microseconds.
+    pub shed_micros: AtomicU64,
 }
 
 impl WorkerStats {
@@ -120,9 +142,31 @@ impl WorkerStats {
             chunks_dropped: AtomicU64::new(0),
             samples_dropped: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
             packets_decoded: AtomicU64::new(0),
             crc_failures: AtomicU64::new(0),
+            decode_ewma_ns: AtomicU64::new(0),
+            effort_rung: AtomicU64::new(0),
+            chunks_shed: AtomicU64::new(0),
+            samples_shed: AtomicU64::new(0),
+            degrade_events: AtomicU64::new(0),
+            restore_events: AtomicU64::new(0),
+            shed_micros: AtomicU64::new(0),
         }
+    }
+
+    /// Fold one decode latency into the EWMA gauge (single-writer:
+    /// only the owning worker calls this).
+    pub fn record_decode_ewma(&self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        let old = self.decode_ewma_ns.load(Ordering::Relaxed);
+        // EWMA with alpha = 1/4, seeded by the first sample.
+        let new = if old == 0 {
+            ns
+        } else {
+            old + (ns / 4) - (old / 4)
+        };
+        self.decode_ewma_ns.store(new, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> WorkerSnapshot {
@@ -132,8 +176,16 @@ impl WorkerStats {
             chunks_dropped: self.chunks_dropped.load(Ordering::Relaxed),
             samples_dropped: self.samples_dropped.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
             packets_decoded: self.packets_decoded.load(Ordering::Relaxed),
             crc_failures: self.crc_failures.load(Ordering::Relaxed),
+            decode_ewma_ns: self.decode_ewma_ns.load(Ordering::Relaxed),
+            effort_rung: self.effort_rung.load(Ordering::Relaxed),
+            chunks_shed: self.chunks_shed.load(Ordering::Relaxed),
+            samples_shed: self.samples_shed.load(Ordering::Relaxed),
+            degrade_events: self.degrade_events.load(Ordering::Relaxed),
+            restore_events: self.restore_events.load(Ordering::Relaxed),
+            shed_micros: self.shed_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,16 +197,32 @@ pub struct WorkerSnapshot {
     pub channel: usize,
     /// Spreading factor.
     pub sf: u8,
-    /// Chunks evicted by drop-oldest.
+    /// Chunks evicted by drop-oldest (incl. closed-queue discards).
     pub chunks_dropped: u64,
     /// Samples inside evicted chunks.
     pub samples_dropped: u64,
     /// Queue depth high-water mark, chunks.
     pub queue_depth_hwm: u64,
+    /// Live queue depth at snapshot time, chunks.
+    pub queue_depth: u64,
     /// CRC-passing packets.
     pub packets_decoded: u64,
     /// CRC-failing packets.
     pub crc_failures: u64,
+    /// Decode latency EWMA, nanoseconds.
+    pub decode_ewma_ns: u64,
+    /// Effort rung at snapshot time (0 = full effort).
+    pub effort_rung: u64,
+    /// Chunks discarded while shed.
+    pub chunks_shed: u64,
+    /// Samples discarded while shed.
+    pub samples_shed: u64,
+    /// Downward ladder transitions.
+    pub degrade_events: u64,
+    /// Upward ladder transitions.
+    pub restore_events: u64,
+    /// Time spent shed, microseconds.
+    pub shed_micros: u64,
 }
 
 /// All gateway telemetry, shared between the front end, the workers and
@@ -210,6 +278,11 @@ impl GatewayStats {
             crc_failures: workers.iter().map(|w| w.crc_failures).sum(),
             chunks_dropped: workers.iter().map(|w| w.chunks_dropped).sum(),
             samples_dropped: workers.iter().map(|w| w.samples_dropped).sum(),
+            chunks_shed: workers.iter().map(|w| w.chunks_shed).sum(),
+            samples_shed: workers.iter().map(|w| w.samples_shed).sum(),
+            degrade_events: workers.iter().map(|w| w.degrade_events).sum(),
+            restore_events: workers.iter().map(|w| w.restore_events).sum(),
+            shed_seconds: workers.iter().map(|w| w.shed_micros).sum::<u64>() as f64 / 1e6,
             channelize: self.channelize.snapshot(),
             decode: self.decode.snapshot(),
             workers,
@@ -236,6 +309,18 @@ pub struct GatewaySnapshot {
     pub chunks_dropped: u64,
     /// Dropped samples, summed over workers.
     pub samples_dropped: u64,
+    /// Chunks discarded by shed workers, summed over workers.
+    pub chunks_shed: u64,
+    /// Samples discarded by shed workers, summed over workers.
+    pub samples_shed: u64,
+    /// Downward degradation-ladder transitions (effort cuts + sheds),
+    /// summed over workers.
+    pub degrade_events: u64,
+    /// Upward ladder transitions (restores), summed over workers.
+    pub restore_events: u64,
+    /// Total worker-time spent shed, seconds (summed over workers: two
+    /// workers shed for 1 s each count 2 s).
+    pub shed_seconds: f64,
     /// Channelizer latency histogram.
     pub channelize: HistogramSnapshot,
     /// Decode latency histogram.
@@ -281,6 +366,54 @@ mod tests {
             .mean_ns(),
             0.0
         );
+    }
+
+    #[test]
+    fn decode_ewma_tracks_latency() {
+        let w = WorkerStats::new(0, 7);
+        w.record_decode_ewma(Duration::from_nanos(1000));
+        assert_eq!(w.decode_ewma_ns.load(Ordering::Relaxed), 1000);
+        for _ in 0..32 {
+            w.record_decode_ewma(Duration::from_nanos(5000));
+        }
+        let ewma = w.decode_ewma_ns.load(Ordering::Relaxed);
+        assert!(
+            (4500..=5000).contains(&ewma),
+            "EWMA should converge towards the new level, got {ewma}"
+        );
+    }
+
+    #[test]
+    fn snapshot_aggregates_ladder_telemetry() {
+        let stats = GatewayStats::new(&[(0, 7), (0, 9)]);
+        stats
+            .worker(0)
+            .degrade_events
+            .fetch_add(2, Ordering::Relaxed);
+        stats
+            .worker(1)
+            .degrade_events
+            .fetch_add(1, Ordering::Relaxed);
+        stats
+            .worker(1)
+            .restore_events
+            .fetch_add(1, Ordering::Relaxed);
+        stats
+            .worker(1)
+            .shed_micros
+            .fetch_add(2_500_000, Ordering::Relaxed);
+        stats.worker(1).chunks_shed.fetch_add(7, Ordering::Relaxed);
+        stats
+            .worker(1)
+            .samples_shed
+            .fetch_add(700, Ordering::Relaxed);
+        let s = stats.snapshot();
+        assert_eq!(s.degrade_events, 3);
+        assert_eq!(s.restore_events, 1);
+        assert!((s.shed_seconds - 2.5).abs() < 1e-9);
+        assert_eq!(s.chunks_shed, 7);
+        assert_eq!(s.samples_shed, 700);
+        assert_eq!(s.workers[1].shed_micros, 2_500_000);
     }
 
     #[test]
