@@ -13,7 +13,9 @@
 //! * [`window`] — rectangular sub-symbol windowing (paper Eqn 7/11),
 //! * [`correlate`] — sliding cross-correlation used by preamble detection,
 //! * [`channelizer`] — streaming wideband → per-channel splitter (NCO mix,
-//!   low-pass FIR, decimation) feeding the multi-channel gateway,
+//!   low-pass FIR, decimation) feeding the multi-channel gateway; planar
+//!   autovectorised hot path with a scalar reference module and an
+//!   end-of-stream group-delay flush,
 //! * [`math`] — small numeric helpers (energy, dB, sinc, phase).
 //!
 //! All spectra produced here share one frequency grid (the full

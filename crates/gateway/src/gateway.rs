@@ -408,6 +408,11 @@ impl Gateway {
         let t0 = Instant::now();
         let outs = self.channelizer.process(samples);
         self.stats.channelize.record(t0.elapsed());
+        self.dispatch(outs);
+    }
+
+    /// Fan channelizer output out to every worker of its channel.
+    fn dispatch(&mut self, outs: Vec<Vec<Cf32>>) {
         for (channel, out) in outs.into_iter().enumerate() {
             if out.is_empty() {
                 continue;
@@ -438,21 +443,27 @@ impl Gateway {
 
     /// End of stream: stop the control plane, restore every worker to
     /// full effort so the drain decodes the backlog instead of shedding
-    /// it, close all queues, wait for every worker to drain and flush,
-    /// and return the remaining merged packets (everything since the last
+    /// it, flush the channelizer's group-delay tail to the workers (a
+    /// packet ending at capture end keeps its final symbols), close all
+    /// queues, wait for every worker to drain and flush, and return the
+    /// remaining merged packets (everything since the last
     /// [`Gateway::poll_packets`] call) plus a final telemetry snapshot.
-    pub fn finish(self) -> (Vec<GatewayPacket>, GatewaySnapshot) {
+    pub fn finish(mut self) -> (Vec<GatewayPacket>, GatewaySnapshot) {
         self.policy_stop.store(true, Ordering::Release);
-        if let Some(h) = self.policy_handle {
+        if let Some(h) = self.policy_handle.take() {
             h.join().expect("gateway policy thread panicked");
         }
         for c in &self.controls {
             c.set_rung(0);
         }
+        let t0 = Instant::now();
+        let tail = self.channelizer.flush();
+        self.stats.channelize.record(t0.elapsed());
+        self.dispatch(tail);
         for q in &self.queues {
             q.close();
         }
-        for h in self.handles {
+        for h in std::mem::take(&mut self.handles) {
             h.join().expect("gateway worker panicked");
         }
         let packets = self.sink.take_released();
@@ -513,7 +524,8 @@ mod tests {
         assert!(packets.is_empty());
         assert_eq!(snap.samples_in, 8 * 4096);
         assert_eq!(snap.chunks_in, 8);
-        assert!(snap.channelize.count == 8);
+        // 8 pushes plus the group-delay flush pass in `finish`.
+        assert!(snap.channelize.count == 9);
         assert!(snap.decode.count > 0);
     }
 

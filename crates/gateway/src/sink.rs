@@ -153,7 +153,17 @@ impl PacketSink {
                 payload: p.packet.payload.clone(),
             });
             self.stats.packets_released.fetch_add(1, Ordering::Relaxed);
-            inner.released.push(p);
+            // Insert keeping `released` sorted: the immediate release of a
+            // laggard's below-watermark report can arrive *after* packets
+            // with later start times were already released, and the
+            // collected stream must stay globally non-decreasing. Almost
+            // always an append (partition_point hits the end), so the
+            // common case costs a binary search and no memmove.
+            let key = (p.start_wideband, p.channel, p.sf);
+            let at = inner
+                .released
+                .partition_point(|q| (q.start_wideband, q.channel, q.sf) <= key);
+            inner.released.insert(at, p);
         }
         // Duplicates of a transmission start within ~a symbol of each
         // other; pruning a few max-SF symbols behind the watermark keeps
@@ -269,6 +279,27 @@ mod tests {
         let got = sink.take_released();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].start_wideband, 5_000);
+    }
+
+    #[test]
+    fn laggard_release_keeps_released_stream_sorted() {
+        // Regression: the immediate release of a below-watermark report
+        // used to *append* to `released`, so a laggard reporting a packet
+        // that starts before packets already sitting there broke the
+        // "globally non-decreasing start time" invariant. Due packets must
+        // be inserted in (start_wideband, channel, sf) order instead.
+        let sink = PacketSink::new(2, 16, 9, stats());
+        sink.set_watermark(0, 10_000);
+        sink.set_watermark(1, 8_000);
+        // Worker 0 reports a packet below the global watermark (8 000):
+        // released immediately.
+        sink.report(vec![pkt(0, 7, 7_000, b"later")]);
+        // The laggard (worker 1) then reports an *earlier* packet, also
+        // below the watermark: it must slot in before the first one.
+        sink.report(vec![pkt(1, 7, 5_000, b"early")]);
+        let got = sink.take_released();
+        let starts: Vec<u64> = got.iter().map(|p| p.start_wideband).collect();
+        assert_eq!(starts, vec![5_000, 7_000], "released buffer out of order");
     }
 
     #[test]

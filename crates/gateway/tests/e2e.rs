@@ -288,6 +288,51 @@ fn idle_workers_release_decoded_packets_without_more_samples() {
     assert!(rest.is_empty(), "the packet must not be emitted twice");
 }
 
+#[test]
+fn packet_ending_at_capture_end_decodes_through_flush() {
+    // Regression (channelizer tail flush): the channel filter's group
+    // delay means the last `(num_taps-1)/2` wideband samples of content
+    // never left the channelizer — `Gateway::finish` closed the queues
+    // without flushing it, so a packet ending within the delay window of
+    // capture end lost its final symbols (truncated frames are never
+    // emitted by the streaming receiver) and vanished.
+    let plan = BandPlan::uniform(2, 250e3, 500e3, 4, 4);
+    let sps_wide = 128 * plan.oversampling * plan.decimation; // SF7 symbol
+    let tx = Transceiver::new(plan.wideband_params(7), CodeRate::Cr45);
+    let frame = tx.frame_samples(PAYLOAD_LEN);
+    let start = 4 * sps_wide;
+    // The capture ends 16 wideband samples after the frame does — well
+    // inside the filter's group delay (tens of samples for this plan), so
+    // without the flush the tail of the last symbol is unrecoverable.
+    let len = start + frame + 16;
+    let payload: Vec<u8> = (0..PAYLOAD_LEN as u8).map(|i| i.wrapping_mul(5)).collect();
+    let samples = synthesize(
+        &plan,
+        len,
+        &[WidebandPacket {
+            channel: 0,
+            sf: 7,
+            code_rate: CodeRate::Cr45,
+            payload: payload.clone(),
+            amplitude: 1.0,
+            start_sample: start,
+            cfo_hz: 0.0,
+        }],
+    );
+
+    let mut gw = Gateway::new(gateway_config(&plan, 64, pinned_drop_oldest()));
+    gw.push(&samples);
+    let (packets, _) = gw.finish();
+    assert_eq!(
+        packets.len(),
+        1,
+        "packet ending at capture end must survive the channelizer flush"
+    );
+    assert_eq!(packets[0].channel, 0);
+    assert_eq!(packets[0].sf, 7);
+    assert_eq!(packets[0].packet.payload.as_deref(), Some(&payload[..]));
+}
+
 /// Dense two-SF traffic on a two-channel band: SF7 packets chained on
 /// both channels plus an overlapping SF9 chain, each payload unique.
 /// Returns the capture and the number of SF7 packets placed.
