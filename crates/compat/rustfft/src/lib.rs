@@ -8,6 +8,15 @@
 //! algorithm built on the radix-2 kernel. Scalar only — this trades
 //! rustfft's SIMD for zero external dependencies (the build environment
 //! has no crates.io access).
+//!
+//! Each plan carries two kernels, mirroring the workspace's
+//! reference-vs-production split (see the channelizer's `scalar` module):
+//! [`Fft::process`] runs the straightforward textbook loop and is the
+//! oracle, [`Fft::process_with_scratch`] runs an optimised loop
+//! (contiguous per-stage twiddles, bounds-check-free butterflies,
+//! multiply-free unity twiddles) whose outputs are numerically identical —
+//! every element compares `==`; only the sign of zero terms may differ,
+//! which no downstream power/amplitude consumer can observe.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -27,8 +36,19 @@ pub enum FftDirection {
 /// A planned transform of a fixed length.
 pub trait Fft<T>: Send + Sync {
     /// Compute the transform in place over `buffer` (length must equal
-    /// [`Fft::len`]).
+    /// [`Fft::len`]). Allocates internal scratch when the algorithm needs
+    /// any; hot loops should use [`Fft::process_with_scratch`] instead.
     fn process(&self, buffer: &mut [Complex<T>]);
+    /// Compute the transform in place using caller-provided scratch of at
+    /// least [`Fft::get_inplace_scratch_len`] elements. The scratch
+    /// contents on entry are ignored (implementations overwrite it) and
+    /// are unspecified on return. This is the optimised hot-path kernel;
+    /// results are numerically identical to [`Fft::process`] (every
+    /// element compares `==` — at most the sign of zero differs).
+    fn process_with_scratch(&self, buffer: &mut [Complex<T>], scratch: &mut [Complex<T>]);
+    /// Scratch elements required by [`Fft::process_with_scratch`]
+    /// (0 for the in-place radix-2 kernel).
+    fn get_inplace_scratch_len(&self) -> usize;
     /// The transform length this plan was built for.
     fn len(&self) -> usize;
     /// True for a zero-length plan (never produced by the planner).
@@ -81,6 +101,12 @@ struct Radix2 {
     n: usize,
     /// `twiddles[k] = e^{sign * 2πik/n}` for `k < n/2`.
     twiddles: Vec<Complex<f32>>,
+    /// The same twiddles regrouped contiguously per stage (`len` = 2, 4,
+    /// …, `n`): stage `len` contributes `twiddles[j * n/len]` for
+    /// `j < len/2`. Copied verbatim from `twiddles`, so both kernels
+    /// multiply by exactly the same values; this layout turns the hot
+    /// kernel's strided gather into a linear read.
+    stage_twiddles: Vec<Complex<f32>>,
     /// Bit-reversal permutation indices.
     rev: Vec<u32>,
 }
@@ -92,12 +118,21 @@ impl Radix2 {
             FftDirection::Forward => -1.0f64,
             FftDirection::Inverse => 1.0f64,
         };
-        let twiddles = (0..n / 2)
+        let twiddles: Vec<Complex<f32>> = (0..n / 2)
             .map(|k| {
                 let ang = sign * std::f64::consts::TAU * k as f64 / n as f64;
                 Complex::new(ang.cos() as f32, ang.sin() as f32)
             })
             .collect();
+        let mut stage_twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for j in 0..len / 2 {
+                stage_twiddles.push(twiddles[j * step]);
+            }
+            len <<= 1;
+        }
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| {
@@ -108,23 +143,35 @@ impl Radix2 {
                 }
             })
             .collect();
-        Self { n, twiddles, rev }
+        Self {
+            n,
+            twiddles,
+            stage_twiddles,
+            rev,
+        }
+    }
+
+    fn bit_reverse(&self, buf: &mut [Complex<f32>]) {
+        for (i, &r) in self.rev.iter().enumerate() {
+            let j = r as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
     }
 }
 
 impl Fft<f32> for Radix2 {
+    /// Reference kernel: the textbook loop, kept as the oracle the
+    /// optimised kernel is tested against (and as the pinned cost of the
+    /// pre-scratch demod path).
     fn process(&self, buf: &mut [Complex<f32>]) {
         let n = self.n;
         assert_eq!(buf.len(), n, "buffer length must match plan length");
         if n <= 1 {
             return;
         }
-        for i in 0..n {
-            let j = self.rev[i] as usize;
-            if i < j {
-                buf.swap(i, j);
-            }
-        }
+        self.bit_reverse(buf);
         let mut len = 2;
         while len <= n {
             let half = len / 2;
@@ -140,6 +187,55 @@ impl Fft<f32> for Radix2 {
             }
             len <<= 1;
         }
+    }
+
+    // Optimised in-place kernel (the scratch is unused): same butterfly
+    // schedule and twiddle values as `process`, but with contiguous
+    // per-stage twiddles, iterator-driven (bounds-check-free) inner
+    // loops, and the `j = 0` butterfly special-cased — its twiddle is
+    // exactly `1 - 0i`, so `b * w` reduces to `b` (the only deviation,
+    // and it can only flip the sign of a zero term).
+    fn process_with_scratch(&self, buf: &mut [Complex<f32>], _scratch: &mut [Complex<f32>]) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length must match plan length");
+        if n <= 1 {
+            return;
+        }
+        self.bit_reverse(buf);
+        // Stage `len = 2`: every twiddle is unity — pure add/sub pairs.
+        for pair in buf.chunks_exact_mut(2) {
+            let a = pair[0];
+            let b = pair[1];
+            pair[0] = a + b;
+            pair[1] = a - b;
+        }
+        // Later stages; `tw` skips the one unity twiddle of stage 2.
+        let mut len = 4;
+        let mut tw = 1usize;
+        while len <= n {
+            let half = len / 2;
+            let w = &self.stage_twiddles[tw..tw + half];
+            let w_rest = &w[1..];
+            for block in buf.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                let a = lo[0];
+                let b = hi[0];
+                lo[0] = a + b;
+                hi[0] = a - b;
+                for ((la, hb), &wj) in lo[1..].iter_mut().zip(hi[1..].iter_mut()).zip(w_rest) {
+                    let b = *hb * wj;
+                    let a = *la;
+                    *la = a + b;
+                    *hb = a - b;
+                }
+            }
+            tw += half;
+            len <<= 1;
+        }
+    }
+
+    fn get_inplace_scratch_len(&self) -> usize {
+        0
     }
 
     fn len(&self) -> usize {
@@ -202,21 +298,41 @@ impl Bluestein {
 
 impl Fft<f32> for Bluestein {
     fn process(&self, buf: &mut [Complex<f32>]) {
+        let mut work = vec![Complex::new(0.0f32, 0.0); self.m];
+        self.process_with_scratch(buf, &mut work);
+    }
+
+    fn process_with_scratch(&self, buf: &mut [Complex<f32>], scratch: &mut [Complex<f32>]) {
         let (n, m) = (self.n, self.m);
         assert_eq!(buf.len(), n, "buffer length must match plan length");
-        let mut work = vec![Complex::new(0.0f32, 0.0); m];
+        assert!(
+            scratch.len() >= m,
+            "scratch length {} < required {}",
+            scratch.len(),
+            m
+        );
+        let work = &mut scratch[..m];
         for j in 0..n {
             work[j] = buf[j] * self.chirp[j];
         }
-        self.fwd.process(&mut work);
+        for w in work[n..].iter_mut() {
+            *w = Complex::new(0.0, 0.0);
+        }
+        // The radix-2 kernels need no scratch of their own; use the
+        // optimised ones so both Bluestein entry points share them.
+        self.fwd.process_with_scratch(work, &mut []);
         for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
             *w = *w * *k;
         }
-        self.inv.process(&mut work);
+        self.inv.process_with_scratch(work, &mut []);
         let scale = 1.0 / m as f32;
         for k in 0..n {
             buf[k] = work[k] * scale * self.chirp[k];
         }
+    }
+
+    fn get_inplace_scratch_len(&self) -> usize {
+        self.m
     }
 
     fn len(&self) -> usize {
@@ -298,12 +414,39 @@ mod tests {
     }
 
     #[test]
+    fn scratch_path_bit_identical_to_process() {
+        // The optimised kernel (pow2 radix-2, and Bluestein built on it)
+        // must agree element-for-element with the reference kernel,
+        // including through a dirty reused scratch buffer. Sizes cover the
+        // demod hot-path grids (2^SF·os up to SF9·4 = 2048).
+        for n in [2usize, 64, 256, 1024, 2048, 100, 240] {
+            let plan = FftPlanner::new().plan_fft_forward(n);
+            let x = test_signal(n);
+            let mut fresh = x.clone();
+            plan.process(&mut fresh);
+            let mut scratch = vec![Complex::new(7.5f32, -3.25); plan.get_inplace_scratch_len()];
+            for _ in 0..2 {
+                let mut buf = x.clone();
+                plan.process_with_scratch(&mut buf, &mut scratch);
+                assert_eq!(buf, fresh, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_len_zero_for_pow2_nonzero_for_bluestein() {
+        let mut p = FftPlanner::new();
+        assert_eq!(p.plan_fft_forward(512).get_inplace_scratch_len(), 0);
+        assert!(p.plan_fft_forward(100).get_inplace_scratch_len() >= 199);
+    }
+
+    #[test]
     fn tone_lands_on_its_bin() {
         let n = 512;
         let bin = 37;
         let x: Vec<Complex<f32>> = (0..n)
             .map(|i| {
-                Complex::from_polar(
+                Complex::<f32>::from_polar(
                     1.0,
                     std::f32::consts::TAU * bin as f32 * i as f32 / n as f32,
                 )

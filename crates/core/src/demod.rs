@@ -10,13 +10,24 @@
 //!    preamble provided estimates (paper §5.7, [`crate::filters`]);
 //! 4. breaks remaining ties with the Spectral Edge Difference
 //!    (paper §5.6, [`crate::sed`]).
+//!
+//! The hot path ([`CicDemodulator::demodulate_with`]) runs through a
+//! caller-owned [`DemodScratch`]: one full-window transform feeds the
+//! power fold, the amplitude fold *and* the ICSS full-window member, and
+//! every intermediate buffer is reused, so a warm decode loop performs no
+//! heap allocation. [`CicDemodulator::demodulate_reference`] pins the
+//! original allocating implementation; the two are bit-identical (the
+//! equivalence suite in `tests/demod_equivalence.rs` asserts exact
+//! [`SymbolDecision`] equality over randomized collisions).
 
+use lora_dsp::window::SampleRange;
 use lora_dsp::{intersect, peaks, Cf32, Spectrum};
-use lora_phy::Demodulator;
+use lora_phy::{Demodulator, SpectrumScratch};
 
 use crate::config::CicConfig;
-use crate::filters::{cfo_filter, power_filter, Candidate};
-use crate::icss::optimal_icss;
+use crate::filters::{cfo_filter, cfo_matches, power_filter, power_matches, Candidate};
+use crate::icss::{optimal_icss, optimal_icss_into};
+use crate::scratch::DemodScratch;
 use crate::sed::EdgeSpectra;
 use crate::subsymbol::Boundaries;
 
@@ -38,7 +49,7 @@ pub struct SymbolContext {
 }
 
 /// How the final symbol value was selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Selection {
     /// The intersected spectrum had a single surviving candidate.
     Unique,
@@ -53,7 +64,7 @@ pub enum Selection {
 }
 
 /// Result of demodulating one symbol window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SymbolDecision {
     /// Chosen symbol value (FFT bin).
     pub value: usize,
@@ -67,6 +78,47 @@ pub struct SymbolDecision {
 pub struct CicDemodulator {
     demod: Demodulator,
     config: CicConfig,
+}
+
+/// Intersect the unit-energy-normalised spectra of the optimal ICSS into
+/// `out`. When `full_padded` is provided it must be the padded transform
+/// of the whole `dechirped` window; ICSS members covering the full window
+/// then fold it instead of re-transforming.
+#[allow(clippy::too_many_arguments)]
+fn intersect_icss_into(
+    demod: &Demodulator,
+    min_subsymbol_samples: usize,
+    dechirped: &[Cf32],
+    boundaries: &Boundaries,
+    full_padded: Option<&[Cf32]>,
+    spec: &mut SpectrumScratch,
+    icss: &mut Vec<SampleRange>,
+    sub_spec: &mut Spectrum,
+    out: &mut Spectrum,
+) {
+    let p = demod.params();
+    optimal_icss_into(boundaries, min_subsymbol_samples, icss);
+    let mut first = true;
+    for r in icss.iter() {
+        match full_padded {
+            // `r.slice(dechirped)` is the whole window: its transform is
+            // already in `full_padded` (3 same-size full-window FFTs → 1).
+            Some(buf) if r.start == 0 && r.end >= dechirped.len() => {
+                Spectrum::folded_from_complex(buf, p.n_bins(), p.oversampling(), sub_spec);
+            }
+            _ => demod.folded_spectrum_range_scratch(dechirped, *r, spec, sub_spec),
+        }
+        sub_spec.normalize_unit_energy();
+        if first {
+            out.copy_from(sub_spec);
+            first = false;
+        } else {
+            intersect::spectral_intersection_into(out, sub_spec);
+        }
+    }
+    if first {
+        out.reset_zero(p.n_bins());
+    }
 }
 
 impl CicDemodulator {
@@ -91,13 +143,36 @@ impl CicDemodulator {
     /// Compute `Φ_CIC` (Eqn 12): the spectral intersection over the
     /// optimal ICSS of an already de-chirped window.
     pub fn intersected_spectrum(&self, dechirped: &[Cf32], boundaries: &Boundaries) -> Spectrum {
-        let icss = optimal_icss(boundaries, self.config.min_subsymbol_samples);
-        let spectra: Vec<Spectrum> = icss
-            .iter()
-            .map(|r| self.demod.folded_spectrum_range(dechirped, *r))
-            .collect();
-        intersect::intersect_normalized(&spectra)
-            .unwrap_or_else(|| Spectrum::from_power(vec![0.0; self.demod.params().n_bins()]))
+        let mut out = Spectrum::from_power(Vec::new());
+        self.intersected_spectrum_scratch(
+            dechirped,
+            boundaries,
+            &mut DemodScratch::new(),
+            &mut out,
+        );
+        out
+    }
+
+    /// [`CicDemodulator::intersected_spectrum`] through a reused arena.
+    /// Allocation-free once warm; bit-identical results.
+    pub fn intersected_spectrum_scratch(
+        &self,
+        dechirped: &[Cf32],
+        boundaries: &Boundaries,
+        scratch: &mut DemodScratch,
+        out: &mut Spectrum,
+    ) {
+        intersect_icss_into(
+            &self.demod,
+            self.config.min_subsymbol_samples,
+            dechirped,
+            boundaries,
+            None,
+            &mut scratch.spec,
+            &mut scratch.icss,
+            &mut scratch.sub_spec,
+            out,
+        );
     }
 
     /// The Strawman-CIC spectrum (paper Fig 9/13): intersection of only
@@ -120,13 +195,280 @@ impl CicDemodulator {
     /// transmission (the receiver does this with the preamble estimate),
     /// so the wanted peak sits on an integer bin plus the residual
     /// fractional CFO.
+    ///
+    /// Convenience wrapper over [`CicDemodulator::demodulate_scratch`]
+    /// with a throwaway arena; loops should own a [`DemodScratch`].
     pub fn demodulate(
         &self,
         dechirped: &[Cf32],
         boundaries: &Boundaries,
         ctx: &SymbolContext,
     ) -> SymbolDecision {
-        let cic_spec = self.intersected_spectrum(dechirped, boundaries);
+        self.demodulate_scratch(dechirped, boundaries, ctx, &mut DemodScratch::new())
+    }
+
+    /// [`CicDemodulator::demodulate`] through a reused arena. The only
+    /// allocation in a warm loop is the returned decision's candidate
+    /// vector; use [`CicDemodulator::demodulate_with`] to avoid that too.
+    pub fn demodulate_scratch(
+        &self,
+        dechirped: &[Cf32],
+        boundaries: &Boundaries,
+        ctx: &SymbolContext,
+        scratch: &mut DemodScratch,
+    ) -> SymbolDecision {
+        let (value, selection) = self.demodulate_with(dechirped, boundaries, ctx, scratch);
+        SymbolDecision {
+            value,
+            selection,
+            candidates: scratch.candidates.clone(),
+        }
+    }
+
+    /// The allocation-free hot path: demodulate one de-chirped window
+    /// entirely inside `scratch`, returning the symbol value and how it
+    /// was selected. The surviving candidates (what
+    /// [`SymbolDecision::candidates`] would hold) are left in
+    /// [`DemodScratch::last_candidates`].
+    ///
+    /// Bit-identical to [`CicDemodulator::demodulate_reference`].
+    pub fn demodulate_with(
+        &self,
+        dechirped: &[Cf32],
+        boundaries: &Boundaries,
+        ctx: &SymbolContext,
+        scratch: &mut DemodScratch,
+    ) -> (usize, Selection) {
+        let DemodScratch {
+            spec,
+            full_padded,
+            icss,
+            cic_spec,
+            sub_spec,
+            full_spec,
+            full_amp,
+            peaks: found,
+            median,
+            candidates,
+            flags,
+            sed_bins,
+            edges,
+            sed_tmp,
+            ..
+        } = scratch;
+        let p = self.demod.params();
+
+        // One full-window transform, consumed three ways: the power fold
+        // (power filter), the amplitude fold (fractional positions and
+        // decision snapping) and — inside the intersection below — the
+        // ICSS full-window member.
+        self.demod
+            .fft()
+            .forward_padded_into(dechirped, p.samples_per_symbol(), full_padded);
+        Spectrum::folded_from_complex(full_padded, p.n_bins(), p.oversampling(), full_spec);
+        Spectrum::folded_amplitude_from_complex(
+            full_padded,
+            p.n_bins(),
+            p.oversampling(),
+            full_amp,
+        );
+
+        intersect_icss_into(
+            &self.demod,
+            self.config.min_subsymbol_samples,
+            dechirped,
+            boundaries,
+            Some(full_padded),
+            spec,
+            icss,
+            sub_spec,
+            cic_spec,
+        );
+
+        peaks::find_peaks_into(
+            cic_spec,
+            self.config.peak_threshold,
+            self.config.peak_min_separation,
+            median,
+            found,
+        );
+        candidates.clear();
+        for pk in found.iter().take(self.config.max_candidates) {
+            let n = full_spec.len() as f64;
+            let amp_pos = peaks::refine_sinc_amp(full_amp, pk.bin);
+            let mut frac_part = amp_pos - pk.bin as f64;
+            if frac_part > 0.5 {
+                frac_part -= n;
+            } else if frac_part < -0.5 {
+                frac_part += n;
+            }
+            // Lobe energy over bin ± 1: a peak split by a fractional
+            // frequency offset must be credited with its full power,
+            // or its weak alias bin slips through the power filter.
+            let nb = full_spec.len();
+            let lobe = full_spec[pk.bin]
+                + full_spec[(pk.bin + 1) % nb]
+                + full_spec[(pk.bin + nb - 1) % nb];
+            // Final decision value: re-argmax over the candidate's
+            // immediate neighbourhood in the amplitude-folded full
+            // spectrum. The intersected spectrum's apex shape is
+            // dominated by its lowest-resolution member and wanders
+            // ±1 bin under dense overlap; the full window has the
+            // sharpest apex for a tone that is really there.
+            let refined_bin = [(pk.bin + nb - 1) % nb, pk.bin, (pk.bin + 1) % nb]
+                .into_iter()
+                .max_by(|&a, &b| full_amp[a].total_cmp(&full_amp[b]))
+                .unwrap();
+            candidates.push(Candidate {
+                bin: pk.bin,
+                refined_bin,
+                intersected_power: pk.power,
+                full_power: lobe,
+                frac_offset_bins: frac_part,
+            });
+        }
+
+        // Exclude candidates sitting on a *known* interferer tone
+        // (preamble or previously-decoded data), unless that empties the
+        // set (the wanted symbol can legitimately coincide with one).
+        if !ctx.known_interferer_bins.is_empty() {
+            let n = p.n_bins() as f64;
+            let keeps = |c: &Candidate| {
+                let pos = c.bin as f64 + c.frac_offset_bins;
+                !ctx.known_interferer_bins
+                    .iter()
+                    .any(|&k| lora_dsp::math::cyclic_distance(pos, k, n).abs() <= 1.0)
+            };
+            if candidates.iter().any(keeps) {
+                candidates.retain(keeps);
+            }
+        }
+
+        // Relative floor, applied *after* known-tone exclusion so that an
+        // uncancellable (but known and excluded) strong tone does not set
+        // the bar: sidelobes and intersection residue sit well below the
+        // strongest genuine candidate, real contenders within a few dB.
+        let strongest = candidates
+            .iter()
+            .map(|c| c.intersected_power)
+            .fold(0.0f64, f64::max);
+        let rel_floor =
+            strongest / lora_dsp::math::from_db(self.config.candidate_max_below_peak_db);
+        candidates.retain(|c| c.intersected_power >= rel_floor);
+
+        if candidates.is_empty() {
+            // Nothing above threshold: fall back to the argmax of the
+            // intersected spectrum (better than dropping the symbol — the
+            // decoder's FEC/CRC arbitrates).
+            let value = cic_spec.argmax().map(|(b, _)| b).unwrap_or(0);
+            return (value, Selection::Fallback);
+        }
+        if candidates.len() == 1 {
+            return (candidates[0].refined_bin, Selection::Unique);
+        }
+
+        // Feature filters (paper §5.7): a candidate should be consistent
+        // with every enabled feature, so the primary verdict is the
+        // intersection of both filters. When they conflict (intersection
+        // empty), prefer the power filter alone: the lobe-power
+        // measurement is robust, while the fractional-CFO measurement is
+        // easily corrupted by a peak on an adjacent bin. CFO-only and
+        // finally the unfiltered set are the remaining fallbacks.
+        //
+        // Implemented as per-candidate verdict bits (bit 0 = CFO pass,
+        // bit 1 = power pass) and a cascade of bit masks over them — the
+        // same lattice the reference builds with one cloned vector per
+        // filter combination, without the clones.
+        let cfo_expect = match (self.config.use_cfo_filter, ctx.frac_cfo_bins) {
+            (true, Some(e)) => Some(e),
+            _ => None,
+        };
+        let pow_expect = match (self.config.use_power_filter, ctx.expected_peak_power) {
+            (true, Some(e)) => Some(e),
+            _ => None,
+        };
+        flags.clear();
+        for c in candidates.iter() {
+            let mut f = 0u8;
+            if cfo_expect.is_some_and(|e| cfo_matches(c, e, self.config.cfo_filter_max_bins)) {
+                f |= 1;
+            }
+            if pow_expect.is_some_and(|e| power_matches(c, e, self.config.power_filter_max_db)) {
+                f |= 2;
+            }
+            flags.push(f);
+        }
+        let cascade: &[u8] = match (cfo_expect.is_some(), pow_expect.is_some()) {
+            (true, true) => &[3, 2, 1], // both-pass, power-only, CFO-only
+            (true, false) => &[1],
+            (false, true) => &[2],
+            (false, false) => &[],
+        };
+        // First non-empty filter verdict; mask 0 selects everyone.
+        let mask = cascade
+            .iter()
+            .copied()
+            .find(|&m| flags.iter().any(|&f| f & m == m))
+            .unwrap_or(0);
+        let n_sel = flags.iter().filter(|&&f| f & mask == mask).count();
+        if n_sel == 1 {
+            let idx = flags.iter().position(|&f| f & mask == mask).unwrap();
+            return (candidates[idx].refined_bin, Selection::Filtered);
+        }
+
+        if self.config.use_sed {
+            EdgeSpectra::compute_scratch(
+                &self.demod,
+                dechirped,
+                self.config.sed_windows,
+                spec,
+                sed_tmp,
+                edges,
+            );
+            sed_bins.clear();
+            for (c, &f) in candidates.iter().zip(flags.iter()) {
+                if f & mask == mask {
+                    sed_bins.push(c.bin);
+                }
+            }
+            if let Some(best) = edges.best_candidate_with(sed_bins, median) {
+                let value = candidates
+                    .iter()
+                    .zip(flags.iter())
+                    .find(|&(c, &f)| f & mask == mask && c.bin == best)
+                    .map(|(c, _)| c.refined_bin)
+                    .unwrap_or(best);
+                return (value, Selection::Sed);
+            }
+        }
+
+        // Last resort: strongest surviving candidate. `candidates` is
+        // already power-descending (peak order, preserved by `retain`),
+        // so the strongest survivor is the first one the mask selects —
+        // the reference's stable re-sort is an identity permutation here.
+        let idx = flags.iter().position(|&f| f & mask == mask).unwrap();
+        (candidates[idx].refined_bin, Selection::Strongest)
+    }
+
+    /// The original allocating implementation of
+    /// [`CicDemodulator::demodulate`], pinned verbatim.
+    ///
+    /// Exists as the baseline of the `demod_bench` comparison and as the
+    /// oracle for the bit-exactness suite; not intended for production
+    /// use.
+    pub fn demodulate_reference(
+        &self,
+        dechirped: &[Cf32],
+        boundaries: &Boundaries,
+        ctx: &SymbolContext,
+    ) -> SymbolDecision {
+        let icss = optimal_icss(boundaries, self.config.min_subsymbol_samples);
+        let spectra: Vec<Spectrum> = icss
+            .iter()
+            .map(|r| self.demod.folded_spectrum_range(dechirped, *r))
+            .collect();
+        let cic_spec = intersect::intersect_normalized(&spectra)
+            .unwrap_or_else(|| Spectrum::from_power(vec![0.0; self.demod.params().n_bins()]));
         // The full-window spectrum provides unnormalised power for the
         // power filter; the amplitude-folded variant provides unbiased
         // fractional positions (power-folding skews the sinc-ratio
@@ -151,26 +493,10 @@ impl CicDemodulator {
                 } else if frac_part < -0.5 {
                     frac_part += n;
                 }
-                // Lobe energy over bin ± 1: a peak split by a fractional
-                // frequency offset must be credited with its full power,
-                // or its weak alias bin slips through the power filter.
                 let nb = full_spec.len();
                 let lobe = full_spec[p.bin]
                     + full_spec[(p.bin + 1) % nb]
                     + full_spec[(p.bin + nb - 1) % nb];
-                // Snap the decision value with the full-window fractional
-                // position (the full window has the cleanest sinc shape
-                // for the wanted tone): partial cancellation can skew the
-                // intersected spectrum's argmax by one bin. A fraction at
-                // the ±0.5 clamp means the neighbour outweighed the peak —
-                // usually an adjacent interferer, not a real offset — so
-                // the interference-cancelled argmax is kept instead.
-                // Final decision value: re-argmax over the candidate's
-                // immediate neighbourhood in the amplitude-folded full
-                // spectrum. The intersected spectrum's apex shape is
-                // dominated by its lowest-resolution member and wanders
-                // ±1 bin under dense overlap; the full window has the
-                // sharpest apex for a tone that is really there.
                 let refined_bin = [(p.bin + nb - 1) % nb, p.bin, (p.bin + 1) % nb]
                     .into_iter()
                     .max_by(|&a, &b| full_amp[a].total_cmp(&full_amp[b]))
@@ -185,9 +511,6 @@ impl CicDemodulator {
             })
             .collect();
 
-        // Exclude candidates sitting on a *known* interferer tone
-        // (preamble or previously-decoded data), unless that empties the
-        // set (the wanted symbol can legitimately coincide with one).
         if !ctx.known_interferer_bins.is_empty() {
             let n = self.demod.params().n_bins() as f64;
             let kept: Vec<Candidate> = candidates
@@ -205,10 +528,6 @@ impl CicDemodulator {
             }
         }
 
-        // Relative floor, applied *after* known-tone exclusion so that an
-        // uncancellable (but known and excluded) strong tone does not set
-        // the bar: sidelobes and intersection residue sit well below the
-        // strongest genuine candidate, real contenders within a few dB.
         let strongest = candidates
             .iter()
             .map(|c| c.intersected_power)
@@ -218,9 +537,6 @@ impl CicDemodulator {
         candidates.retain(|c| c.intersected_power >= rel_floor);
 
         if candidates.is_empty() {
-            // Nothing above threshold: fall back to the argmax of the
-            // intersected spectrum (better than dropping the symbol — the
-            // decoder's FEC/CRC arbitrates).
             let value = cic_spec.argmax().map(|(b, _)| b).unwrap_or(0);
             return SymbolDecision {
                 value,
@@ -236,13 +552,6 @@ impl CicDemodulator {
             };
         }
 
-        // Feature filters (paper §5.7): a candidate should be consistent
-        // with every enabled feature, so the primary verdict is the
-        // intersection of both filters. When they conflict (intersection
-        // empty), prefer the power filter alone: the lobe-power
-        // measurement is robust, while the fractional-CFO measurement is
-        // easily corrupted by a peak on an adjacent bin. CFO-only and
-        // finally the unfiltered set are the remaining fallbacks.
         let kept_cfo: Option<Vec<Candidate>> = match (self.config.use_cfo_filter, ctx.frac_cfo_bins)
         {
             (true, Some(expect)) => Some(cfo_filter(
@@ -302,7 +611,6 @@ impl CicDemodulator {
             }
         }
 
-        // Last resort: strongest surviving candidate.
         filtered.sort_by(|a, b| b.intersected_power.total_cmp(&a.intersected_power));
         candidates.sort_by(|a, b| b.intersected_power.total_cmp(&a.intersected_power));
         SymbolDecision {
@@ -464,6 +772,57 @@ mod tests {
         let d = c.demodulate(&de, &b, &SymbolContext::default());
         for w in d.candidates.windows(2) {
             assert!(w[0].intersected_power >= w[1].intersected_power);
+        }
+    }
+
+    #[test]
+    fn scratch_path_matches_reference_exactly() {
+        // A handful of hand-picked windows across the selection branches;
+        // the randomized 100-windows-per-SF sweep lives in
+        // tests/demod_equivalence.rs.
+        let p = params();
+        let c = cic();
+        let mut scratch = DemodScratch::new();
+        let cases: Vec<(Vec<Cf32>, Boundaries, SymbolContext)> = vec![
+            {
+                let (w, b) = collision(&p, 123, &[]);
+                (w, b, SymbolContext::default())
+            },
+            {
+                let (w, b) = collision(&p, 77, &[(10, 210, 400, 2.0)]);
+                (w, b, SymbolContext::default())
+            },
+            {
+                let (w, b) = collision(
+                    &p,
+                    150,
+                    &[(5, 99, 200, 1.5), (30, 222, 520, 1.2), (180, 64, 850, 0.8)],
+                );
+                (
+                    w,
+                    b,
+                    SymbolContext {
+                        frac_cfo_bins: Some(0.0),
+                        expected_peak_power: Some(1.0),
+                        known_interferer_bins: vec![99.0],
+                    },
+                )
+            },
+            (
+                vec![Cf32::new(0.0, 0.0); p.samples_per_symbol()],
+                Boundaries::new(p.samples_per_symbol(), vec![]),
+                SymbolContext::default(),
+            ),
+        ];
+        for (win, b, ctx) in &cases {
+            let de = c.inner().dechirp(win);
+            let want = c.demodulate_reference(&de, b, ctx);
+            let got = c.demodulate_scratch(&de, b, ctx, &mut scratch);
+            assert_eq!(got, want);
+            // Spectrum paths agree bit-for-bit too.
+            let mut spec = Spectrum::from_power(vec![7.0; 3]);
+            c.intersected_spectrum_scratch(&de, b, &mut scratch, &mut spec);
+            assert_eq!(spec, c.intersected_spectrum(&de, b));
         }
     }
 }

@@ -27,6 +27,26 @@ pub struct Candidate {
     pub frac_offset_bins: f64,
 }
 
+/// Per-candidate CFO predicate of [`cfo_filter`]: within `max_bins` of the
+/// preamble estimate (cyclic distance, so +0.49 and −0.49 are close).
+pub fn cfo_matches(c: &Candidate, expect_frac: f64, max_bins: f64) -> bool {
+    fractional_distance(c.frac_offset_bins, expect_frac) <= max_bins
+}
+
+/// Per-candidate power predicate of [`power_filter`]: full-window peak
+/// power within `max_db` of the preamble estimate. `expect_power <= 0`
+/// (no estimate) passes everything; a zero-power candidate fails any
+/// positive estimate.
+pub fn power_matches(c: &Candidate, expect_power: f64, max_db: f64) -> bool {
+    if expect_power <= 0.0 {
+        return true;
+    }
+    if c.full_power <= 0.0 {
+        return false;
+    }
+    lora_dsp::math::db(c.full_power / expect_power).abs() <= max_db
+}
+
 /// Keep candidates whose fractional CFO is within `max_bins` of the
 /// transmitter's preamble estimate (cyclic distance, so +0.49 and −0.49
 /// are close).
@@ -34,25 +54,17 @@ pub fn cfo_filter(candidates: &[Candidate], expect_frac: f64, max_bins: f64) -> 
     candidates
         .iter()
         .copied()
-        .filter(|c| fractional_distance(c.frac_offset_bins, expect_frac) <= max_bins)
+        .filter(|c| cfo_matches(c, expect_frac, max_bins))
         .collect()
 }
 
 /// Keep candidates whose full-window peak power is within `max_db` of the
 /// transmitter's preamble estimate.
 pub fn power_filter(candidates: &[Candidate], expect_power: f64, max_db: f64) -> Vec<Candidate> {
-    if expect_power <= 0.0 {
-        return candidates.to_vec();
-    }
     candidates
         .iter()
         .copied()
-        .filter(|c| {
-            if c.full_power <= 0.0 {
-                return false;
-            }
-            lora_dsp::math::db(c.full_power / expect_power).abs() <= max_db
-        })
+        .filter(|c| power_matches(c, expect_power, max_db))
         .collect()
 }
 

@@ -22,8 +22,21 @@ use crate::subsymbol::Boundaries;
 /// it cannot separate the interferer from the wanted peak and only
 /// flattens the intersection. Duplicate ranges are removed.
 pub fn optimal_icss(boundaries: &Boundaries, min_subsymbol_samples: usize) -> Vec<SampleRange> {
+    let mut out = Vec::with_capacity(2 * boundaries.n_transitions() + 1);
+    optimal_icss_into(boundaries, min_subsymbol_samples, &mut out);
+    out
+}
+
+/// [`optimal_icss`] into a reused vector (`out` is cleared, not
+/// reallocated): boundaries usually repeat across consecutive symbols of
+/// the same collision, so the demod loop rebuilds this set every window.
+pub fn optimal_icss_into(
+    boundaries: &Boundaries,
+    min_subsymbol_samples: usize,
+    out: &mut Vec<SampleRange>,
+) {
+    out.clear();
     let len = boundaries.window_len();
-    let mut out: Vec<SampleRange> = Vec::with_capacity(2 * boundaries.n_transitions() + 1);
     for &tau in boundaries.offsets() {
         let left = SampleRange::new(0, tau);
         let right = SampleRange::new(tau, len);
@@ -34,9 +47,10 @@ pub fn optimal_icss(boundaries: &Boundaries, min_subsymbol_samples: usize) -> Ve
         out.push(right);
     }
     out.push(SampleRange::new(0, len));
-    out.sort_by_key(|r| (r.start, r.end));
+    // Few, nearly-sorted elements: unstable sort allocates nothing and
+    // (start, end) keys are unique after dedup anyway.
+    out.sort_unstable_by_key(|r| (r.start, r.end));
     out.dedup();
-    out
 }
 
 /// Check the defining ICSS property: no *interferer interval* is covered
@@ -99,6 +113,18 @@ mod tests {
         assert!(cancels_all(&opt, &b));
         let longest = opt.iter().map(|r| r.len()).max().unwrap();
         assert_eq!(longest, 1000);
+    }
+
+    #[test]
+    fn into_variant_clears_and_matches() {
+        let mut out = vec![SampleRange::new(7, 9); 4];
+        let b1 = Boundaries::new(1000, vec![300, 700]);
+        optimal_icss_into(&b1, 16, &mut out);
+        assert_eq!(out, optimal_icss(&b1, 16));
+        // Reuse with different boundaries: previous contents must not leak.
+        let b2 = Boundaries::new(64, vec![]);
+        optimal_icss_into(&b2, 16, &mut out);
+        assert_eq!(out, vec![SampleRange::new(0, 64)]);
     }
 
     #[test]

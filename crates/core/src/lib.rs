@@ -55,6 +55,7 @@ pub mod filters;
 pub mod icss;
 pub mod preamble;
 pub mod receiver;
+pub mod scratch;
 pub mod sed;
 pub mod stream;
 pub mod subsymbol;
@@ -64,6 +65,7 @@ pub use config::CicConfig;
 pub use demod::{CicDemodulator, Selection, SymbolContext, SymbolDecision};
 pub use preamble::{Detection, PreambleDetector};
 pub use receiver::{CicReceiver, DecodedPacket};
+pub use scratch::DemodScratch;
 pub use stream::StreamingReceiver;
 pub use subsymbol::Boundaries;
 pub use tracker::{ActiveTx, Tracker};

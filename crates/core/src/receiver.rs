@@ -23,6 +23,7 @@ use lora_phy::params::{CodeRate, LoraParams};
 use crate::config::CicConfig;
 use crate::demod::{CicDemodulator, Selection, SymbolContext};
 use crate::preamble::{Detection, PreambleDetector};
+use crate::scratch::DemodScratch;
 use crate::tracker::{ActiveTx, Tracker};
 
 /// One packet recovered (or attempted) from a capture.
@@ -127,12 +128,20 @@ impl CicReceiver {
         let detections = self.detect(capture);
         let tracker = self.tracker(&detections);
         let demod = CicDemodulator::new(self.params, self.config.clone());
+        let mut scratch = DemodScratch::new();
         let empty = std::collections::HashMap::new();
         let mut packets: Vec<DecodedPacket> = detections
             .iter()
-            .map(|d| self.decode_one(capture, &tracker, &demod, d, &empty))
+            .map(|d| self.decode_one(capture, &tracker, &demod, d, &empty, &mut scratch))
             .collect();
-        self.iterate_passes(capture, &tracker, &demod, &detections, &mut packets);
+        self.iterate_passes(
+            capture,
+            &tracker,
+            &demod,
+            &detections,
+            &mut packets,
+            &mut scratch,
+        );
         packets
     }
 
@@ -144,6 +153,7 @@ impl CicReceiver {
         demod: &CicDemodulator,
         detections: &[Detection],
         packets: &mut [DecodedPacket],
+        scratch: &mut DemodScratch,
     ) {
         let mut decoded_symbols: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
@@ -163,7 +173,8 @@ impl CicReceiver {
                 if packets[id].ok() {
                     continue;
                 }
-                let retry = self.decode_one(capture, tracker, demod, det, &decoded_symbols);
+                let retry =
+                    self.decode_one(capture, tracker, demod, det, &decoded_symbols, scratch);
                 if retry.ok() {
                     progressed = true;
                     packets[id] = retry;
@@ -203,12 +214,21 @@ impl CicReceiver {
             {
                 let tracker = &tracker;
                 scope.spawn(move || {
-                    // Each worker owns its demodulator: FFT plans are not
-                    // shared across threads.
+                    // Each worker owns its demodulator and scratch arena:
+                    // neither FFT plans nor hot-path buffers are shared
+                    // across threads.
                     let demod = CicDemodulator::new(self.params, self.config.clone());
+                    let mut scratch = DemodScratch::new();
                     let empty = std::collections::HashMap::new();
                     for (d, slot) in det_chunk.iter().zip(res_chunk.iter_mut()) {
-                        *slot = Some(self.decode_one(capture, tracker, &demod, d, &empty));
+                        *slot = Some(self.decode_one(
+                            capture,
+                            tracker,
+                            &demod,
+                            d,
+                            &empty,
+                            &mut scratch,
+                        ));
                     }
                 });
             }
@@ -219,12 +239,21 @@ impl CicReceiver {
             .collect();
         // Re-decode passes (failures only — typically few, so sequential).
         let demod = CicDemodulator::new(self.params, self.config.clone());
-        self.iterate_passes(capture, &tracker, &demod, &detections, &mut packets);
+        let mut scratch = DemodScratch::new();
+        self.iterate_passes(
+            capture,
+            &tracker,
+            &demod,
+            &detections,
+            &mut packets,
+            &mut scratch,
+        );
         packets
     }
 
     /// Demodulate and decode one detected packet. `decoded_symbols` holds
-    /// the data symbols of packets already decoded in earlier passes.
+    /// the data symbols of packets already decoded in earlier passes;
+    /// `scratch` is the caller's per-thread demod arena.
     fn decode_one(
         &self,
         capture: &[Cf32],
@@ -232,6 +261,7 @@ impl CicReceiver {
         demod: &CicDemodulator,
         detection: &Detection,
         decoded_symbols: &std::collections::HashMap<usize, Vec<usize>>,
+        scratch: &mut DemodScratch,
     ) -> DecodedPacket {
         let sps = self.params.samples_per_symbol();
         let layout = tracker.layout();
@@ -249,6 +279,11 @@ impl CicReceiver {
         let mut truncated = 0usize;
         let mut contested = 0usize;
         let derot_step = -std::f64::consts::TAU * cfo_hz / self.params.sample_rate_hz();
+        // The window/de-chirp buffers live in the arena between packets,
+        // but `demodulate_with` needs the arena too — take them out for
+        // the duration of the loop (no allocation either way).
+        let mut win = std::mem::take(&mut scratch.win);
+        let mut de = std::mem::take(&mut scratch.de);
         for k in 0..n_data {
             let start = detection.frame_start + layout.data_symbol_start(k);
             if start + sps > capture.len() {
@@ -257,12 +292,13 @@ impl CicReceiver {
                 continue;
             }
             // Derotate the window by the estimated CFO, then de-chirp.
-            let mut win: Vec<Cf32> = capture[start..start + sps].to_vec();
+            win.clear();
+            win.extend_from_slice(&capture[start..start + sps]);
             for (i, c) in win.iter_mut().enumerate() {
                 let ph = (derot_step * i as f64) % std::f64::consts::TAU;
                 *c *= Cf32::from_polar(1.0, ph as f32);
             }
-            let de = demod.inner().dechirp(&win);
+            demod.inner().dechirp_into(&win, &mut de);
             let boundaries = tracker.interferer_boundaries(my_id, start, sps);
             let ctx = SymbolContext {
                 // After derotating by the preamble CFO estimate, this
@@ -283,12 +319,14 @@ impl CicReceiver {
                     bins
                 },
             };
-            let decision = demod.demodulate(&de, &boundaries, &ctx);
-            if matches!(decision.selection, Selection::Sed | Selection::Strongest) {
+            let (value, selection) = demod.demodulate_with(&de, &boundaries, &ctx, scratch);
+            if matches!(selection, Selection::Sed | Selection::Strongest) {
                 contested += 1;
             }
-            symbols.push(decision.value);
+            symbols.push(value);
         }
+        scratch.win = win;
+        scratch.de = de;
 
         let payload = if truncated == 0 {
             self.codec

@@ -12,7 +12,7 @@
 
 use lora_dsp::window::SampleRange;
 use lora_dsp::{intersect, Cf32, Spectrum};
-use lora_phy::Demodulator;
+use lora_phy::{Demodulator, SpectrumScratch};
 
 /// Left- and right-edge intersected spectra of one de-chirped window.
 #[derive(Debug, Clone)]
@@ -34,33 +34,79 @@ impl EdgeSpectra {
     /// would let the intersection suppress partial symbols on *both*
     /// edges and destroy the imbalance SED relies on).
     pub fn compute(demod: &Demodulator, dechirped: &[Cf32], n_windows: usize) -> Self {
+        let mut out = Self::empty();
+        Self::compute_scratch(
+            demod,
+            dechirped,
+            n_windows,
+            &mut SpectrumScratch::new(),
+            &mut Spectrum::from_power(Vec::new()),
+            &mut out,
+        );
+        out
+    }
+
+    /// Edge spectra with no bins; a target for
+    /// [`EdgeSpectra::compute_scratch`].
+    pub fn empty() -> Self {
+        Self {
+            left: Spectrum::from_power(Vec::new()),
+            right: Spectrum::from_power(Vec::new()),
+        }
+    }
+
+    /// [`EdgeSpectra::compute`] through reused buffers: each window's
+    /// amplitude spectrum lands in `tmp` and is folded into `out`'s
+    /// running intersections in place. Allocation-free once warm;
+    /// bit-identical results.
+    pub fn compute_scratch(
+        demod: &Demodulator,
+        dechirped: &[Cf32],
+        n_windows: usize,
+        scratch: &mut SpectrumScratch,
+        tmp: &mut Spectrum,
+        out: &mut EdgeSpectra,
+    ) {
         assert!(n_windows >= 1);
         let len = dechirped.len();
         let half = len / 2;
         let eps = (half / (4 * n_windows)).max(1);
-        let mut lefts = Vec::with_capacity(n_windows);
-        let mut rights = Vec::with_capacity(n_windows);
+        let mut n_left = 0usize;
+        let mut n_right = 0usize;
         for i in 0..n_windows {
             let off = i * eps;
             let l = SampleRange::new(off.min(len), (off + half).min(len));
             let r_end = len.saturating_sub(off);
             let r = SampleRange::new(r_end.saturating_sub(half), r_end);
+            // Raw (non-normalised) intersection: every window spans the
+            // same half symbol, so powers are directly comparable;
+            // normalising would skew λ by each half's interferer content.
             if !l.is_empty() {
-                lefts.push(demod.folded_amplitude_spectrum(l.slice(dechirped)));
+                demod.folded_amplitude_spectrum_scratch(l.slice(dechirped), scratch, tmp);
+                if n_left == 0 {
+                    out.left.copy_from(tmp);
+                } else {
+                    intersect::spectral_intersection_into(&mut out.left, tmp);
+                }
+                n_left += 1;
             }
             if !r.is_empty() {
-                rights.push(demod.folded_amplitude_spectrum(r.slice(dechirped)));
+                demod.folded_amplitude_spectrum_scratch(r.slice(dechirped), scratch, tmp);
+                if n_right == 0 {
+                    out.right.copy_from(tmp);
+                } else {
+                    intersect::spectral_intersection_into(&mut out.right, tmp);
+                }
+                n_right += 1;
             }
         }
-        // Raw (non-normalised) intersection: every window spans the same
-        // half symbol, so powers are directly comparable; normalising
-        // would skew λ by each half's interferer content.
         let n_bins = demod.params().n_bins();
-        let left = intersect::intersect_raw(&lefts)
-            .unwrap_or_else(|| Spectrum::from_power(vec![0.0; n_bins]));
-        let right = intersect::intersect_raw(&rights)
-            .unwrap_or_else(|| Spectrum::from_power(vec![0.0; n_bins]));
-        Self { left, right }
+        if n_left == 0 {
+            out.left.reset_zero(n_bins);
+        }
+        if n_right == 0 {
+            out.right.reset_zero(n_bins);
+        }
     }
 
     /// The SED `Δ(f) = |λ_rh(f) - λ_lh(f)|` at bin `f` (paper Eqn 15,
@@ -85,6 +131,15 @@ impl EdgeSpectra {
     /// spectral voids — their `|λ_rh - λ_lh|` is trivially tiny — and are
     /// ranked last rather than first.
     pub fn best_candidate(&self, bins: &[usize]) -> Option<usize> {
+        self.best_candidate_with(bins, &mut Vec::new())
+    }
+
+    /// [`EdgeSpectra::best_candidate`] with a reused median scratch.
+    pub fn best_candidate_with(
+        &self,
+        bins: &[usize],
+        median_scratch: &mut Vec<f64>,
+    ) -> Option<usize> {
         // Noise floor of the edge spectra, and a relative floor against
         // the strongest candidate: a bin 12 dB below the best candidate's
         // edge energy is residue, and residue is trivially balanced.
@@ -92,8 +147,12 @@ impl EdgeSpectra {
             .iter()
             .map(|&b| self.left[b].max(self.right[b]))
             .fold(0.0f64, f64::max);
-        let floor =
-            (4.0 * self.left.median_power().max(self.right.median_power())).max(cand_max / 16.0);
+        let floor = (4.0
+            * self
+                .left
+                .median_power_with(median_scratch)
+                .max(self.right.median_power_with(median_scratch)))
+        .max(cand_max / 16.0);
         let score = |b: usize| -> f64 {
             if self.left[b].max(self.right[b]) < floor {
                 f64::INFINITY

@@ -21,6 +21,10 @@ pub struct FftEngine {
     planner: RefCell<FftPlanner<f32>>,
     forward: RefCell<HashMap<usize, Arc<dyn Fft<f32>>>>,
     inverse: RefCell<HashMap<usize, Arc<dyn Fft<f32>>>>,
+    /// Per-length rustfft scratch, cached beside the plans so the
+    /// steady-state `_into` entry points never allocate (power-of-two
+    /// plans need none; Bluestein needs a work buffer).
+    scratch: RefCell<HashMap<usize, Vec<Cf32>>>,
 }
 
 impl Default for FftEngine {
@@ -36,6 +40,7 @@ impl FftEngine {
             planner: RefCell::new(FftPlanner::new()),
             forward: RefCell::new(HashMap::new()),
             inverse: RefCell::new(HashMap::new()),
+            scratch: RefCell::new(HashMap::new()),
         }
     }
 
@@ -77,6 +82,38 @@ impl FftEngine {
         }
     }
 
+    /// In-place forward FFT of `buf` through the cached per-length scratch
+    /// buffer and the optimised kernel: no allocation once the plan and
+    /// scratch for this length are warm. Results are numerically identical
+    /// to [`FftEngine::forward`] (every element compares `==`).
+    pub fn forward_scratch(&self, buf: &mut [Cf32]) {
+        if buf.is_empty() {
+            return;
+        }
+        let plan = self.plan_forward(buf.len());
+        let need = plan.get_inplace_scratch_len();
+        if need == 0 {
+            // Power-of-two plans are scratch-free; this still routes
+            // through the optimised hot-path kernel (unlike `forward`,
+            // which runs the reference kernel).
+            plan.process_with_scratch(buf, &mut []);
+            return;
+        }
+        // Move the scratch out of the cache so no RefCell borrow is held
+        // across `process_with_scratch` (a plan length can recursively hit
+        // the engine only through caller bugs, but cheap insurance).
+        let mut scratch = self
+            .scratch
+            .borrow_mut()
+            .remove(&buf.len())
+            .unwrap_or_default();
+        if scratch.len() < need {
+            scratch.resize(need, Cf32::new(0.0, 0.0));
+        }
+        plan.process_with_scratch(buf, &mut scratch);
+        self.scratch.borrow_mut().insert(buf.len(), scratch);
+    }
+
     /// Forward FFT of `x` zero-padded (or truncated) to `n` points,
     /// returning a fresh buffer. Zero-padding interpolates the spectrum on
     /// a denser grid without changing its resolution — this is how
@@ -89,10 +126,36 @@ impl FftEngine {
         buf
     }
 
+    /// [`FftEngine::forward_padded`] into a reused buffer: `buf` is
+    /// cleared, zero-filled to `n` and transformed in place. Allocation-free
+    /// once `buf` has capacity and the plan is warm; bit-identical output.
+    pub fn forward_padded_into(&self, x: &[Cf32], n: usize, buf: &mut Vec<Cf32>) {
+        buf.clear();
+        buf.resize(n, Cf32::new(0.0, 0.0));
+        let m = x.len().min(n);
+        buf[..m].copy_from_slice(&x[..m]);
+        self.forward_scratch(buf);
+    }
+
     /// Power spectrum (`|X[k]|^2`) of `x` zero-padded to `n` points.
     pub fn power_spectrum_padded(&self, x: &[Cf32], n: usize) -> Vec<f64> {
         let buf = self.forward_padded(x, n);
         buf.iter().map(|c| c.norm_sqr() as f64).collect()
+    }
+
+    /// [`FftEngine::power_spectrum_padded`] into reused buffers: `buf`
+    /// holds the padded transform, `out` the per-bin power. Allocation-free
+    /// once warm; bit-identical output.
+    pub fn power_spectrum_padded_into(
+        &self,
+        x: &[Cf32],
+        n: usize,
+        buf: &mut Vec<Cf32>,
+        out: &mut Vec<f64>,
+    ) {
+        self.forward_padded_into(x, n, buf);
+        out.clear();
+        out.extend(buf.iter().map(|c| c.norm_sqr() as f64));
     }
 }
 
@@ -190,5 +253,42 @@ mod tests {
         let a = eng.power_spectrum_padded(&x, 128);
         let b = eng.power_spectrum_padded(&x, 128);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_variants_bit_identical_pow2_and_non_pow2() {
+        // The scratch path must reproduce the fresh-buffer path exactly —
+        // the demod equivalence suite depends on it. Cover the radix-2
+        // (power-of-two) and Bluestein (other) kernels, with the reused
+        // buffers deliberately left dirty between calls.
+        let eng = FftEngine::new();
+        let mut buf = vec![Cf32::new(9.0, -9.0); 7];
+        let mut out = vec![f64::NAN; 3];
+        for n in [256usize, 1024, 100, 240] {
+            let x = tone(60, 8.25);
+            let fresh_c = eng.forward_padded(&x, n);
+            let fresh_p = eng.power_spectrum_padded(&x, n);
+            for _ in 0..2 {
+                eng.forward_padded_into(&x, n, &mut buf);
+                assert_eq!(buf, fresh_c, "complex mismatch at n={n}");
+                eng.power_spectrum_padded_into(&x, n, &mut buf, &mut out);
+                assert_eq!(out, fresh_p, "power mismatch at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_allocation_reuse_shrinks_and_grows() {
+        // Switching between lengths must stay correct (buffers resize).
+        let eng = FftEngine::new();
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        let x = tone(64, 8.0);
+        eng.power_spectrum_padded_into(&x, 256, &mut buf, &mut out);
+        assert_eq!(out, eng.power_spectrum_padded(&x, 256));
+        eng.power_spectrum_padded_into(&x, 64, &mut buf, &mut out);
+        assert_eq!(out, eng.power_spectrum_padded(&x, 64));
+        eng.power_spectrum_padded_into(&x, 240, &mut buf, &mut out);
+        assert_eq!(out, eng.power_spectrum_padded(&x, 240));
     }
 }

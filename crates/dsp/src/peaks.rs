@@ -25,50 +25,74 @@ pub struct Peak {
 /// (cyclically) of an already-accepted stronger peak, so one wide lobe is
 /// reported once.
 pub fn find_peaks(spec: &Spectrum, threshold_factor: f64, min_separation: usize) -> Vec<Peak> {
+    let mut out = Vec::new();
+    find_peaks_into(
+        spec,
+        threshold_factor,
+        min_separation,
+        &mut Vec::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`find_peaks`] into reused buffers: `median_scratch` backs the
+/// noise-floor estimate and `out` receives the peaks. Allocation-free once
+/// both have capacity; identical results.
+pub fn find_peaks_into(
+    spec: &Spectrum,
+    threshold_factor: f64,
+    min_separation: usize,
+    median_scratch: &mut Vec<f64>,
+    out: &mut Vec<Peak>,
+) {
+    out.clear();
     let n = spec.len();
     if n < 3 {
-        return Vec::new();
+        return;
     }
-    let floor = spec.median_power();
+    let floor = spec.median_power_with(median_scratch);
     let threshold = if floor > 0.0 {
         floor * threshold_factor
     } else {
         0.0
     };
 
-    let mut candidates: Vec<Peak> = (0..n)
-        .filter_map(|i| {
-            let prev = spec[(i + n - 1) % n];
-            let next = spec[(i + 1) % n];
-            let p = spec[i];
-            // Strict on one side so plateaus report a single peak.
-            if p > prev && p >= next && p > threshold && p > 0.0 {
-                Some(Peak {
-                    bin: i,
-                    power: p,
-                    frac_bin: refine_sinc(spec, i),
-                })
-            } else {
-                None
-            }
-        })
-        .collect();
-    candidates.sort_by(|a, b| b.power.total_cmp(&a.power));
+    for i in 0..n {
+        let prev = spec[(i + n - 1) % n];
+        let next = spec[(i + 1) % n];
+        let p = spec[i];
+        // Strict on one side so plateaus report a single peak.
+        if p > prev && p >= next && p > threshold && p > 0.0 {
+            out.push(Peak {
+                bin: i,
+                power: p,
+                frac_bin: refine_sinc(spec, i),
+            });
+        }
+    }
+    // Candidates were collected in ascending-bin order, so an unstable
+    // sort with a bin tie-break reproduces the stable power-descending
+    // order without the stable sort's temp allocation.
+    out.sort_unstable_by(|a, b| b.power.total_cmp(&a.power).then(a.bin.cmp(&b.bin)));
 
     if min_separation == 0 {
-        return candidates;
+        return;
     }
-    let mut accepted: Vec<Peak> = Vec::new();
-    'outer: for c in candidates {
-        for a in &accepted {
-            let d = cyclic_bin_distance(c.bin, a.bin, n);
-            if d <= min_separation {
-                continue 'outer;
-            }
+    // In-place greedy suppression: keep a peak iff it clears every
+    // already-kept (stronger) peak by more than `min_separation` bins.
+    let mut kept = 0usize;
+    for i in 0..out.len() {
+        let c = out[i];
+        let clear = out[..kept]
+            .iter()
+            .all(|a| cyclic_bin_distance(c.bin, a.bin, n) > min_separation);
+        if clear {
+            out[kept] = c;
+            kept += 1;
         }
-        accepted.push(c);
     }
-    accepted
+    out.truncate(kept);
 }
 
 /// The single strongest peak, if any bin is a local maximum above zero.
@@ -317,6 +341,31 @@ mod tests {
             .collect();
         let est = refine_quadratic(&Spectrum::from_power(v), 10) - 10.0;
         assert!(est < 0.2, "quadratic est {est} (true 0.41)");
+    }
+
+    #[test]
+    fn find_peaks_into_matches_wrapper_with_dirty_buffers() {
+        let mut v = vec![0.2; 48];
+        v[3] = 4.0;
+        v[4] = 4.0; // plateau
+        v[19] = 9.0;
+        v[21] = 8.5; // inside separation of 19
+        v[40] = 6.0;
+        let spec = sp(&v);
+        for sep in [0usize, 1, 3] {
+            let want = find_peaks(&spec, 3.0, sep);
+            let mut scratch = vec![f64::NAN; 2];
+            let mut out = vec![
+                Peak {
+                    bin: 999,
+                    power: -1.0,
+                    frac_bin: 0.0
+                };
+                7
+            ];
+            find_peaks_into(&spec, 3.0, sep, &mut scratch, &mut out);
+            assert_eq!(out, want, "sep={sep}");
+        }
     }
 
     #[test]

@@ -54,6 +54,75 @@ impl Spectrum {
         Self { bins }
     }
 
+    /// [`Spectrum::folded`] into a reused spectrum: `out` is overwritten
+    /// with the folded bins. Allocation-free once `out` has capacity;
+    /// bit-identical to the allocating variant.
+    pub fn folded_into(raw: &[f64], n_bins: usize, os: usize, out: &mut Spectrum) {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            raw.len(),
+            n_bins * os,
+            "raw spectrum length {} != n_bins {} * os {}",
+            raw.len(),
+            n_bins,
+            os
+        );
+        out.bins.clear();
+        if os == 1 {
+            // Mirror `from_power`'s negative clamp.
+            out.bins
+                .extend(raw.iter().map(|&b| if b < 0.0 { 0.0 } else { b }));
+            return;
+        }
+        let hi = n_bins * (os - 1);
+        out.bins.extend((0..n_bins).map(|k| raw[k] + raw[hi + k]));
+    }
+
+    /// [`Spectrum::folded_amplitude`] into a reused spectrum. Same
+    /// contract as [`Spectrum::folded_into`].
+    pub fn folded_amplitude_into(raw: &[f64], n_bins: usize, os: usize, out: &mut Spectrum) {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            raw.len(),
+            n_bins * os,
+            "raw spectrum length {} != n_bins {} * os {}",
+            raw.len(),
+            n_bins,
+            os
+        );
+        out.bins.clear();
+        if os == 1 {
+            out.bins.extend(raw.iter().map(|p| p.max(0.0).sqrt()));
+            return;
+        }
+        let hi = n_bins * (os - 1);
+        out.bins
+            .extend((0..n_bins).map(|k| raw[k].max(0.0).sqrt() + raw[hi + k].max(0.0).sqrt()));
+    }
+
+    /// Fold a raw power FFT by summing **every** alias segment: bin `k`
+    /// gets `Σ_a raw[a·n_bins + k]` for `a < os`.
+    ///
+    /// [`Spectrum::folded`] sums only the first and last segment, which is
+    /// exact for the `2^SF·os`-point symbol grid (a de-chirped tone aliases
+    /// into exactly those two). On a *zoomed* grid (fractional-CFO
+    /// estimation) the tone's segment index depends on its frequency, so
+    /// all `os` segments must be accumulated.
+    pub fn folded_all_into(raw: &[f64], n_bins: usize, os: usize, out: &mut Spectrum) {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            raw.len(),
+            n_bins * os,
+            "raw spectrum length {} != n_bins {} * os {}",
+            raw.len(),
+            n_bins,
+            os
+        );
+        out.bins.clear();
+        out.bins
+            .extend((0..n_bins).map(|k| (0..os).map(|a| raw[a * n_bins + k]).sum::<f64>()));
+    }
+
     /// Build an **amplitude-folded** spectrum from a raw power FFT: bin
     /// `k` gets `sqrt(raw[k]) + sqrt(raw[n_bins*(os-1)+k])`.
     ///
@@ -81,6 +150,85 @@ impl Spectrum {
             .map(|k| raw[k].max(0.0).sqrt() + raw[hi + k].max(0.0).sqrt())
             .collect();
         Self { bins }
+    }
+
+    /// Power-fold an already-transformed padded complex buffer directly:
+    /// bin `k` gets `|X[k]|² + |X[n_bins·(os−1)+k]|²` without
+    /// materialising the raw power vector first. Bit-identical to
+    /// `Spectrum::folded_into` over `|X|²` (same two `f64` terms, added in
+    /// the same order) — the raw vector write/read is pure memory traffic
+    /// on the hot path.
+    pub fn folded_from_complex(buf: &[crate::Cf32], n_bins: usize, os: usize, out: &mut Spectrum) {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            buf.len(),
+            n_bins * os,
+            "padded buffer length {} != n_bins {} * os {}",
+            buf.len(),
+            n_bins,
+            os
+        );
+        out.bins.clear();
+        if os == 1 {
+            // `|X|²` is non-negative (or NaN), matching `from_power`'s
+            // clamp behaviour on the raw-vector path.
+            out.bins.extend(buf.iter().map(|c| {
+                let b = c.norm_sqr() as f64;
+                if b < 0.0 {
+                    0.0
+                } else {
+                    b
+                }
+            }));
+            return;
+        }
+        let hi = n_bins * (os - 1);
+        out.bins
+            .extend((0..n_bins).map(|k| buf[k].norm_sqr() as f64 + buf[hi + k].norm_sqr() as f64));
+    }
+
+    /// Amplitude-fold an already-transformed padded complex buffer:
+    /// [`Spectrum::folded_amplitude_into`] without the raw power vector.
+    pub fn folded_amplitude_from_complex(
+        buf: &[crate::Cf32],
+        n_bins: usize,
+        os: usize,
+        out: &mut Spectrum,
+    ) {
+        assert!(os >= 1, "oversampling factor must be >= 1");
+        assert_eq!(
+            buf.len(),
+            n_bins * os,
+            "padded buffer length {} != n_bins {} * os {}",
+            buf.len(),
+            n_bins,
+            os
+        );
+        out.bins.clear();
+        if os == 1 {
+            out.bins
+                .extend(buf.iter().map(|c| (c.norm_sqr() as f64).max(0.0).sqrt()));
+            return;
+        }
+        let hi = n_bins * (os - 1);
+        out.bins.extend((0..n_bins).map(|k| {
+            (buf[k].norm_sqr() as f64).max(0.0).sqrt()
+                + (buf[hi + k].norm_sqr() as f64).max(0.0).sqrt()
+        }));
+    }
+
+    /// Overwrite this spectrum with the bins of `src`, reusing the
+    /// existing allocation (the derived `Clone::clone_from` would
+    /// reallocate).
+    pub fn copy_from(&mut self, src: &Spectrum) {
+        self.bins.clear();
+        self.bins.extend_from_slice(&src.bins);
+    }
+
+    /// Reset to `n` zero bins, reusing the existing allocation.
+    pub fn reset_zero(&mut self, n: usize) {
+        self.bins.clear();
+        self.bins.resize(n, 0.0);
     }
 
     /// Number of bins.
@@ -158,16 +306,35 @@ impl Spectrum {
     /// Median bin power: a robust noise-floor estimate that a handful of
     /// signal peaks cannot drag upward.
     pub fn median_power(&self) -> f64 {
+        self.median_power_with(&mut Vec::new())
+    }
+
+    /// [`Spectrum::median_power`] through a reused scratch vector:
+    /// allocation-free once `scratch` has capacity, and O(n) selection
+    /// instead of a full sort. The returned value is identical (the median
+    /// order statistics do not depend on the algorithm).
+    pub fn median_power_with(&self, scratch: &mut Vec<f64>) -> f64 {
         if self.bins.is_empty() {
             return 0.0;
         }
-        let mut v = self.bins.clone();
-        v.sort_by(|a, b| a.total_cmp(b));
-        let n = v.len();
+        scratch.clear();
+        scratch.extend_from_slice(&self.bins);
+        let n = scratch.len();
+        let (below, mid, _) = scratch.select_nth_unstable_by(n / 2, |a, b| a.total_cmp(b));
+        let mid = *mid;
         if n % 2 == 1 {
-            v[n / 2]
+            mid
         } else {
-            0.5 * (v[n / 2 - 1] + v[n / 2])
+            // Total-order max of the lower partition == the sorted
+            // `v[n/2 - 1]` of the old full-sort implementation.
+            let lower = below.iter().copied().fold(f64::NEG_INFINITY, |a, b| {
+                if b.total_cmp(&a).is_gt() {
+                    b
+                } else {
+                    a
+                }
+            });
+            0.5 * (lower + mid)
         }
     }
 }
@@ -260,6 +427,72 @@ mod tests {
     fn folded_amplitude_os1_is_sqrt() {
         let s = Spectrum::folded_amplitude(&[4.0, 9.0, 16.0], 3, 1);
         assert_eq!(s.bins(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn folded_into_matches_allocating_variants() {
+        let raw: Vec<f64> = (0..16)
+            .map(|i| (i as f64 * 0.7).sin().abs() * 3.0)
+            .collect();
+        let mut out = Spectrum::from_power(vec![42.0; 2]);
+        Spectrum::folded_into(&raw, 4, 4, &mut out);
+        assert_eq!(out, Spectrum::folded(&raw, 4, 4));
+        Spectrum::folded_amplitude_into(&raw, 4, 4, &mut out);
+        assert_eq!(out, Spectrum::folded_amplitude(&raw, 4, 4));
+        Spectrum::folded_into(&raw, 16, 1, &mut out);
+        assert_eq!(out, Spectrum::folded(&raw, 16, 1));
+        Spectrum::folded_amplitude_into(&raw, 16, 1, &mut out);
+        assert_eq!(out, Spectrum::folded_amplitude(&raw, 16, 1));
+    }
+
+    #[test]
+    fn folded_all_sums_every_alias_segment() {
+        // n_bins = 2, os = 3: result[k] = raw[k] + raw[2+k] + raw[4+k].
+        let raw = vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0];
+        let mut out = Spectrum::from_power(vec![]);
+        Spectrum::folded_all_into(&raw, 2, 3, &mut out);
+        assert_eq!(out.bins(), &[111.0, 222.0]);
+        // os = 1 is the identity.
+        Spectrum::folded_all_into(&raw, 6, 1, &mut out);
+        assert_eq!(out.bins(), &raw[..]);
+    }
+
+    #[test]
+    fn copy_from_and_reset_zero_reuse() {
+        let src = Spectrum::from_power(vec![1.0, 2.0, 3.0]);
+        let mut dst = Spectrum::from_power(vec![9.0; 8]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset_zero(5);
+        assert_eq!(dst.bins(), &[0.0; 5]);
+    }
+
+    #[test]
+    fn median_power_with_matches_sort_oracle() {
+        let mut scratch = vec![f64::NAN; 3];
+        for bins in [
+            vec![5.0, 1.0, 4.0, 2.0, 3.0],
+            vec![2.0, 1.0, 4.0, 3.0],
+            vec![7.0],
+            (0..257).map(|i| ((i * 97) % 113) as f64).collect(),
+            (0..64).map(|i| ((i * 31) % 17) as f64).collect(),
+        ] {
+            let mut v = bins.clone();
+            v.sort_by(|a, b| a.total_cmp(b));
+            let n = v.len();
+            let want = if n % 2 == 1 {
+                v[n / 2]
+            } else {
+                0.5 * (v[n / 2 - 1] + v[n / 2])
+            };
+            let s = Spectrum::from_power(bins);
+            assert_eq!(s.median_power_with(&mut scratch), want);
+            assert_eq!(s.median_power(), want);
+        }
+        assert_eq!(
+            Spectrum::from_power(vec![]).median_power_with(&mut scratch),
+            0.0
+        );
     }
 
     #[test]

@@ -11,6 +11,25 @@ use lora_dsp::{math, window::SampleRange, FftEngine, Spectrum};
 use crate::chirp::ChirpTable;
 use crate::params::LoraParams;
 
+/// Reusable buffers for one spectrum computation: the zero-padded complex
+/// FFT buffer and the raw per-bin power it produces. Owned by whoever runs
+/// a demod loop (one per thread — none of this is `Sync`) and threaded
+/// through the `_scratch` methods so the steady state never allocates.
+#[derive(Debug, Default)]
+pub struct SpectrumScratch {
+    /// Zero-padded complex transform buffer.
+    pub padded: Vec<lora_dsp::Cf32>,
+    /// Raw (unfolded) per-bin power of the padded transform.
+    pub raw: Vec<f64>,
+}
+
+impl SpectrumScratch {
+    /// Empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A de-chirping demodulator bound to one parameter set.
 pub struct Demodulator {
     table: ChirpTable,
@@ -50,6 +69,12 @@ impl Demodulator {
         math::multiply(&samples[..n], &self.table.down()[..n])
     }
 
+    /// [`Demodulator::dechirp`] into a reused buffer.
+    pub fn dechirp_into(&self, samples: &[lora_dsp::Cf32], out: &mut Vec<lora_dsp::Cf32>) {
+        let n = samples.len().min(self.table.down().len());
+        math::multiply_into(&samples[..n], &self.table.down()[..n], out);
+    }
+
     /// Multiply a window with the *up*-chirp (used for down-chirp
     /// detection in the preamble: a down-chirp times the up-chirp is a
     /// constant tone, while data up-chirps smear — paper §5.8).
@@ -82,6 +107,36 @@ impl Demodulator {
         Spectrum::folded_amplitude(&raw, p.n_bins(), p.oversampling())
     }
 
+    /// [`Demodulator::folded_spectrum`] through reused buffers: the padded
+    /// transform lands in `scratch`, the folded result in `out`. The fold
+    /// reads power straight off the complex buffer — the intermediate raw
+    /// power vector of the allocating variant is never materialised, but
+    /// the float operations (and thus the output) are bit-identical.
+    pub fn folded_spectrum_scratch(
+        &self,
+        dechirped: &[lora_dsp::Cf32],
+        scratch: &mut SpectrumScratch,
+        out: &mut Spectrum,
+    ) {
+        let p = self.params();
+        self.fft
+            .forward_padded_into(dechirped, p.samples_per_symbol(), &mut scratch.padded);
+        Spectrum::folded_from_complex(&scratch.padded, p.n_bins(), p.oversampling(), out);
+    }
+
+    /// [`Demodulator::folded_amplitude_spectrum`] through reused buffers.
+    pub fn folded_amplitude_spectrum_scratch(
+        &self,
+        dechirped: &[lora_dsp::Cf32],
+        scratch: &mut SpectrumScratch,
+        out: &mut Spectrum,
+    ) {
+        let p = self.params();
+        self.fft
+            .forward_padded_into(dechirped, p.samples_per_symbol(), &mut scratch.padded);
+        Spectrum::folded_amplitude_from_complex(&scratch.padded, p.n_bins(), p.oversampling(), out);
+    }
+
     /// Folded spectrum of a sub-range of a de-chirped symbol.
     pub fn folded_spectrum_range(
         &self,
@@ -89,6 +144,17 @@ impl Demodulator {
         range: SampleRange,
     ) -> Spectrum {
         self.folded_spectrum(range.slice(dechirped))
+    }
+
+    /// [`Demodulator::folded_spectrum_range`] through reused buffers.
+    pub fn folded_spectrum_range_scratch(
+        &self,
+        dechirped: &[lora_dsp::Cf32],
+        range: SampleRange,
+        scratch: &mut SpectrumScratch,
+        out: &mut Spectrum,
+    ) {
+        self.folded_spectrum_scratch(range.slice(dechirped), scratch, out);
     }
 
     /// Folded power spectrum of a raw (not yet de-chirped) symbol window.
@@ -110,24 +176,37 @@ impl Demodulator {
     /// spectrum. Used for fractional-CFO estimation (paper §5.7 uses a
     /// 16× FFT).
     pub fn fractional_peak(&self, dechirped: &[lora_dsp::Cf32], zoom: usize) -> Option<f64> {
+        let mut scratch = SpectrumScratch::new();
+        let mut spec = Spectrum::from_power(Vec::new());
+        self.fractional_peak_scratch(dechirped, zoom, &mut scratch, &mut spec)
+    }
+
+    /// [`Demodulator::fractional_peak`] through reused buffers (`spec`
+    /// holds the folded zoomed spectrum, sized `n_bins * zoom`).
+    pub fn fractional_peak_scratch(
+        &self,
+        dechirped: &[lora_dsp::Cf32],
+        zoom: usize,
+        scratch: &mut SpectrumScratch,
+        spec: &mut Spectrum,
+    ) -> Option<f64> {
         assert!(zoom >= 1);
         let p = self.params();
         let len = p.samples_per_symbol() * zoom;
-        let raw = self.fft.power_spectrum_padded(dechirped, len);
-        // Fold the zoomed grid: bin k aliases with n_bins*zoom*(os-1)+k.
+        self.fft
+            .power_spectrum_padded_into(dechirped, len, &mut scratch.padded, &mut scratch.raw);
+        // Fold the zoomed grid. Unlike the symbol grid (where a de-chirped
+        // tone aliases into exactly the first and last segment), a tone's
+        // segment index here depends on its frequency, so every one of the
+        // `os` alias segments must be summed — folding only the outer two
+        // silently drops tones whose energy sits in a middle segment.
         let n_fold = p.n_bins() * zoom;
-        let hi = n_fold * (p.oversampling() - 1);
-        let folded: Vec<f64> = if p.oversampling() == 1 {
-            raw
-        } else {
-            (0..n_fold).map(|k| raw[k] + raw[hi + k]).collect()
-        };
-        let spec = Spectrum::from_power(folded);
+        Spectrum::folded_all_into(&scratch.raw, n_fold, p.oversampling(), spec);
         let (bin, power) = spec.argmax()?;
         if power <= 0.0 {
             return None;
         }
-        let frac = lora_dsp::peaks::refine_quadratic(&spec, bin);
+        let frac = lora_dsp::peaks::refine_quadratic(spec, bin);
         Some(frac / zoom as f64)
     }
 }
@@ -190,6 +269,53 @@ mod tests {
             "estimated {f}, expected {}",
             s as f64 + cfo_bins
         );
+    }
+
+    #[test]
+    fn fractional_peak_sees_middle_alias_segments() {
+        // Regression: the old fold summed only the first and last of the
+        // `os` zoomed alias segments (`raw[k] + raw[hi + k]`), so at
+        // os = 4 a tone whose zoomed-grid energy sits in segment 1 or 2
+        // was invisible and the argmax landed on its leakage skirts.
+        let d = demod();
+        let p = *d.params();
+        assert_eq!(p.oversampling(), 4);
+        let sps = p.samples_per_symbol();
+        // A pure tone at `n_bins + 5` cycles per symbol window: its raw
+        // zoomed bin is `(n_bins + 5) * zoom`, inside segment 1 of 4.
+        let f = (p.n_bins() + 5) as f32;
+        let x: Vec<lora_dsp::Cf32> = (0..sps)
+            .map(|i| {
+                lora_dsp::Cf32::from_polar(1.0, std::f32::consts::TAU * f * i as f32 / sps as f32)
+            })
+            .collect();
+        let est = d.fractional_peak(&x, 4).unwrap();
+        assert!((est - 5.0).abs() < 0.1, "estimated {est}, expected ~5.0");
+    }
+
+    #[test]
+    fn scratch_variants_bit_identical() {
+        let d = demod();
+        let w = symbol_waveform(d.params(), 171);
+        let de = d.dechirp(&w);
+        let mut scratch = SpectrumScratch::new();
+        let mut out = Spectrum::from_power(vec![3.0; 7]);
+        for _ in 0..2 {
+            d.folded_spectrum_scratch(&de, &mut scratch, &mut out);
+            assert_eq!(out, d.folded_spectrum(&de));
+            d.folded_amplitude_spectrum_scratch(&de, &mut scratch, &mut out);
+            assert_eq!(out, d.folded_amplitude_spectrum(&de));
+            let r = SampleRange::new(100, 700);
+            d.folded_spectrum_range_scratch(&de, r, &mut scratch, &mut out);
+            assert_eq!(out, d.folded_spectrum_range(&de, r));
+        }
+        let mut de2 = Vec::new();
+        d.dechirp_into(&w, &mut de2);
+        assert_eq!(de2, de);
+        let f = d
+            .fractional_peak_scratch(&de, 8, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(Some(f), d.fractional_peak(&de, 8));
     }
 
     #[test]

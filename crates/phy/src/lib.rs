@@ -26,7 +26,7 @@ pub mod packet;
 pub mod params;
 
 pub use chirp::{apply_cfo, downchirp, symbol_waveform, upchirp, ChirpTable};
-pub use demod::Demodulator;
+pub use demod::{Demodulator, SpectrumScratch};
 pub use encode::{Codec, DecodeError, DecodeStats};
 pub use modulate::{FrameLayout, Modulator};
 pub use packet::{Transceiver, TxPacket};
