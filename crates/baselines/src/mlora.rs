@@ -13,9 +13,12 @@
 //! uses the estimated frame start, CFO and a least-squares complex gain
 //! fitted over the whole frame; packets that fail CRC are not subtracted
 //! (their symbols are unreliable, subtracting them would inject noise).
+//! The gain fit and in-place subtraction are the shared kernel in
+//! [`cic::sic::subtract`] — the same core the hybrid CIC+SIC receiver
+//! uses.
 
 use cic::preamble::upchirp_scan;
-use lora_dsp::{Cf32, Cf64};
+use lora_dsp::Cf32;
 use lora_phy::encode::Codec;
 use lora_phy::modulate::{FrameLayout, Modulator};
 use lora_phy::params::{CodeRate, LoraParams};
@@ -93,27 +96,7 @@ impl MLoraReceiver {
             cfo_bins * self.params.bin_hz(),
             0,
         );
-        let end = (frame_start + reference.len()).min(residual.len());
-        let n = end.saturating_sub(frame_start);
-        if n == 0 {
-            return;
-        }
-        // Least-squares complex gain g = <r, ref> / <ref, ref>.
-        let mut num = Cf64::new(0.0, 0.0);
-        let mut den = 0.0f64;
-        for (r, f) in residual[frame_start..end].iter().zip(&reference[..n]) {
-            let p = r * f.conj();
-            num += Cf64::new(p.re as f64, p.im as f64);
-            den += f.norm_sqr() as f64;
-        }
-        if den <= 0.0 {
-            return;
-        }
-        let g = num / den;
-        let g32 = Cf32::new(g.re as f32, g.im as f32);
-        for (r, f) in residual[frame_start..end].iter_mut().zip(&reference[..n]) {
-            *r -= g32 * f;
-        }
+        cic::sic::subtract::project_out(residual, &reference, frame_start);
     }
 }
 
@@ -270,6 +253,43 @@ mod tests {
         );
         let strong_pkt = pkts.iter().find(|q| q.frame_start < 1000).unwrap();
         assert_eq!(strong_pkt.payload.as_deref(), Some(&payload(1)[..]));
+    }
+
+    #[test]
+    fn shared_core_pins_baseline_results() {
+        // Regression pin for the shared-kernel refactor: replacing the
+        // private LS-gain/subtract loop with `cic::sic::subtract` must
+        // leave mLoRa's results on the canonical power-disparity
+        // collision exactly as before — both packets decoded, symbol
+        // streams identical to the encoder output, payloads exact.
+        let p = params();
+        let x = Transceiver::new(p, CodeRate::Cr45);
+        let sps = p.samples_per_symbol();
+        let strong = Emission {
+            waveform: x.waveform(&payload(1)),
+            amplitude: amplitude_for_snr(30.0, p.oversampling()),
+            start_sample: 0,
+            cfo_hz: 300.0,
+        };
+        let weak = Emission {
+            waveform: x.waveform(&payload(2)),
+            amplitude: amplitude_for_snr(18.0, p.oversampling()),
+            start_sample: 13 * sps + 400,
+            cfo_hz: -500.0,
+        };
+        let len = weak.start_sample + weak.waveform.len() + 1000;
+        let mut cap = superpose(&p, len, &[strong, weak]);
+        let mut rng = StdRng::seed_from_u64(42);
+        add_unit_noise(&mut rng, &mut cap);
+        let rx = MLoraReceiver::new(p, CodeRate::Cr45, 12);
+        let mut pkts = rx.receive(&cap);
+        pkts.sort_by_key(|q| q.frame_start);
+        pkts.retain(|q| q.ok());
+        assert_eq!(pkts.len(), 2, "both packets decode: {pkts:?}");
+        for (pkt, tag) in pkts.iter().zip([1u8, 2]) {
+            assert_eq!(pkt.payload.as_deref(), Some(&payload(tag)[..]));
+            assert_eq!(pkt.symbols, x.codec().encode(&payload(tag)), "tag {tag}");
+        }
     }
 
     #[test]

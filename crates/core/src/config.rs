@@ -55,6 +55,11 @@ pub struct CicConfig {
     /// streaming receiver built on it) split detected packets across
     /// scoped threads, with output identical to sequential decoding.
     pub decode_threads: usize,
+    /// Residual-cancellation stage (hybrid CIC + SIC): after the normal
+    /// passes, subtract decoded packets from a retained copy of the
+    /// capture and re-run CIC on the residual. Disabled by default
+    /// (`sic.depth == 0`); see [`crate::sic`].
+    pub sic: crate::sic::SicConfig,
 }
 
 impl Default for CicConfig {
@@ -76,6 +81,7 @@ impl Default for CicConfig {
             preamble_min_upchirps: 5,
             decode_passes: 3,
             decode_threads: 1,
+            sic: crate::sic::SicConfig::default(),
         }
     }
 }
@@ -93,15 +99,18 @@ impl CicConfig {
 
     /// A reduced-effort variant of this configuration, for load-aware
     /// degradation at an overloaded gateway. Rung 0 is `self` unchanged;
-    /// rung 1 disables the iterative re-decode passes (the cheapest
-    /// accuracy to give back: passes only help failed packets inside
-    /// collisions); rung 2 additionally narrows the disambiguation search
-    /// (fewer candidates, fewer SED windows, coarser CFO zoom). Rungs
-    /// beyond [`CicConfig::MAX_EFFORT_RUNG`] clamp.
+    /// rung 1 disables the SIC residual stage (by far the most expensive
+    /// optional work: each pass re-runs the full pipeline) and the
+    /// iterative re-decode passes (the next cheapest accuracy to give
+    /// back: passes only help failed packets inside collisions); rung 2
+    /// additionally narrows the disambiguation search (fewer candidates,
+    /// fewer SED windows, coarser CFO zoom). Rungs beyond
+    /// [`CicConfig::MAX_EFFORT_RUNG`] clamp.
     pub fn effort_rung(&self, rung: usize) -> Self {
         let mut c = self.clone();
         if rung >= 1 {
             c.decode_passes = 1;
+            c.sic.depth = 0;
         }
         if rung >= 2 {
             c.max_candidates = c.max_candidates.min(4);

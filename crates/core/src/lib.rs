@@ -57,6 +57,7 @@ pub mod preamble;
 pub mod receiver;
 pub mod scratch;
 pub mod sed;
+pub mod sic;
 pub mod stream;
 pub mod subsymbol;
 pub mod tracker;
@@ -66,6 +67,7 @@ pub use demod::{CicDemodulator, Selection, SymbolContext, SymbolDecision};
 pub use preamble::{Detection, PreambleDetector};
 pub use receiver::{CicReceiver, DecodedPacket};
 pub use scratch::DemodScratch;
+pub use sic::{ResidualBuffer, SicConfig, SicReport};
 pub use stream::StreamingReceiver;
 pub use subsymbol::Boundaries;
 pub use tracker::{ActiveTx, Tracker};

@@ -24,6 +24,7 @@ use crate::config::CicConfig;
 use crate::demod::{CicDemodulator, Selection, SymbolContext};
 use crate::preamble::{Detection, PreambleDetector};
 use crate::scratch::DemodScratch;
+use crate::sic::{CancelOutcome, ResidualBuffer, SicReport};
 use crate::tracker::{ActiveTx, Tracker};
 
 /// One packet recovered (or attempted) from a capture.
@@ -40,6 +41,10 @@ pub struct DecodedPacket {
     /// How many symbol decisions needed SED or a strongest-pick tie-break
     /// (a congestion indicator used by the evaluation).
     pub contested_symbols: usize,
+    /// Which SIC residual pass produced this decode: 0 for the primary
+    /// CIC pipeline, `n >= 1` for a packet recovered after `n` rounds of
+    /// waveform subtraction ([`crate::sic`]).
+    pub sic_pass: usize,
 }
 
 impl DecodedPacket {
@@ -123,8 +128,28 @@ impl CicReceiver {
     /// with those tones excluded from their candidate sets (the same
     /// mechanism as the known-preamble exclusion, extended to data).
     /// Unlike successive interference cancellation, no waveform is
-    /// reconstructed or subtracted; only candidate selection changes.
+    /// reconstructed or subtracted; only candidate selection changes —
+    /// unless the optional SIC residual stage is enabled
+    /// ([`crate::sic::SicConfig::depth`] > 0), which runs *after* these
+    /// passes and does subtract waveforms.
     pub fn receive(&self, capture: &[Cf32]) -> Vec<DecodedPacket> {
+        let mut packets = self.receive_cic(capture, 1);
+        self.sic_stage(capture, 1, &mut packets, &mut ResidualBuffer::new());
+        packets
+    }
+
+    /// The pure-CIC pipeline (detection, per-packet decode, candidate
+    /// exclusion passes) with no residual cancellation, sequential or
+    /// threaded. The SIC stage re-enters here for each residual pass.
+    fn receive_cic(&self, capture: &[Cf32], n_threads: usize) -> Vec<DecodedPacket> {
+        if n_threads > 1 {
+            self.receive_cic_par(capture, n_threads)
+        } else {
+            self.receive_cic_seq(capture)
+        }
+    }
+
+    fn receive_cic_seq(&self, capture: &[Cf32]) -> Vec<DecodedPacket> {
         let detections = self.detect(capture);
         let tracker = self.tracker(&detections);
         let demod = CicDemodulator::new(self.params, self.config.clone());
@@ -200,6 +225,130 @@ impl CicReceiver {
     /// Full receive pipeline with `n_threads` workers decoding packets
     /// concurrently. Results match [`CicReceiver::receive`] exactly.
     pub fn receive_parallel(&self, capture: &[Cf32], n_threads: usize) -> Vec<DecodedPacket> {
+        let n_threads = n_threads.max(1);
+        let mut packets = self.receive_cic(capture, n_threads);
+        self.sic_stage(capture, n_threads, &mut packets, &mut ResidualBuffer::new());
+        packets
+    }
+
+    /// Full receive pipeline reusing the caller's residual arena, and
+    /// reporting what the SIC stage did. This is the entry point the
+    /// streaming receiver uses: a long-lived [`ResidualBuffer`] avoids
+    /// re-allocating the capture copy on every chunk, and the
+    /// [`SicReport`] feeds the gateway's telemetry. Thread count follows
+    /// [`CicConfig::decode_threads`]. With `sic.depth == 0` this is
+    /// exactly [`CicReceiver::receive_auto`] plus an empty report.
+    pub fn receive_hybrid(
+        &self,
+        capture: &[Cf32],
+        residual: &mut ResidualBuffer,
+    ) -> (Vec<DecodedPacket>, SicReport) {
+        let n_threads = self.config.decode_threads.max(1);
+        let mut packets = self.receive_cic(capture, n_threads);
+        let report = self.sic_stage(capture, n_threads, &mut packets, residual);
+        (packets, report)
+    }
+
+    /// The SIC residual stage (no-op unless `config.sic.depth > 0`):
+    /// subtract CRC-clean packets from a retained copy of `capture` and
+    /// re-run CIC on the residual, merging newly recovered packets into
+    /// `packets`. See [`crate::sic`] for the pipeline description.
+    fn sic_stage(
+        &self,
+        capture: &[Cf32],
+        n_threads: usize,
+        packets: &mut Vec<DecodedPacket>,
+        residual: &mut ResidualBuffer,
+    ) -> SicReport {
+        let cfg = &self.config.sic;
+        let mut report = SicReport::default();
+        // Nothing decoded means nothing to subtract: skip the capture
+        // copy entirely so idle/noise-only calls stay allocation-free.
+        if !cfg.enabled() || !packets.iter().any(|p| p.ok()) {
+            return report;
+        }
+        let sps = self.params.samples_per_symbol();
+        let modulator = lora_phy::modulate::Modulator::new(self.params);
+        residual.load(capture);
+        // Which packets have already been offered for subtraction
+        // (index-parallel with `packets`; order is only normalized after
+        // the loop).
+        let mut offered = vec![false; packets.len()];
+        for pass in 1..=cfg.depth {
+            let e_before = residual.energy();
+            let mut any_cancelled = false;
+            for i in 0..packets.len() {
+                if offered[i] || !packets[i].ok() {
+                    continue;
+                }
+                offered[i] = true;
+                match residual.cancel(
+                    &modulator,
+                    &packets[i].symbols,
+                    packets[i].detection.frame_start,
+                    packets[i].detection.cfo_bins,
+                    cfg,
+                ) {
+                    CancelOutcome::Cancelled { .. } => any_cancelled = true,
+                    CancelOutcome::Abandoned => report.abandoned += 1,
+                }
+            }
+            if !any_cancelled {
+                break;
+            }
+            let e_after = residual.energy();
+            if e_after <= f64::MIN_POSITIVE {
+                break;
+            }
+            // Residual-power stop: re-running CIC on a buffer this pass
+            // barely changed can only re-find the same packets.
+            if lora_dsp::math::db(e_before / e_after) < cfg.min_pass_reduction_db {
+                break;
+            }
+            report.passes += 1;
+            let mut progressed = false;
+            for mut pkt in self.receive_cic(residual.samples(), n_threads) {
+                let near = packets.iter().position(|p| {
+                    p.detection.frame_start.abs_diff(pkt.detection.frame_start) < sps / 2
+                });
+                match near {
+                    // A detection at a known frame start: either the
+                    // partially-cancelled ghost of a packet we already
+                    // have (ignore), or a failed packet that now decodes
+                    // in the cleaner residual (replace and mark it for
+                    // subtraction next pass).
+                    Some(j) => {
+                        if !packets[j].ok() && pkt.ok() {
+                            pkt.sic_pass = pass;
+                            packets[j] = pkt;
+                            offered[j] = false;
+                            report.recovered += 1;
+                            progressed = true;
+                        }
+                    }
+                    // A brand-new frame start — a packet whose preamble
+                    // was buried until now. Only trust it if it decodes:
+                    // residual artifacts can trigger spurious detections.
+                    None => {
+                        if pkt.ok() {
+                            pkt.sic_pass = pass;
+                            packets.push(pkt);
+                            offered.push(false);
+                            report.recovered += 1;
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        packets.sort_by_key(|p| p.detection.frame_start);
+        report
+    }
+
+    fn receive_cic_par(&self, capture: &[Cf32], n_threads: usize) -> Vec<DecodedPacket> {
         let detections = self.detect(capture);
         if detections.is_empty() {
             return Vec::new();
@@ -342,6 +491,7 @@ impl CicReceiver {
             payload,
             truncated_symbols: truncated,
             contested_symbols: contested,
+            sic_pass: 0,
         }
     }
 }
@@ -528,6 +678,84 @@ mod tests {
         for (a, b) in seq.iter().zip(&auto) {
             assert_eq!(a.symbols, b.symbols);
             assert_eq!(a.payload, b.payload);
+        }
+    }
+
+    #[test]
+    fn hybrid_sic_recovers_buried_packet() {
+        // The scenario CIC cannot solve alone: a weak packet fully
+        // overlapped by one 18 dB stronger. Its preamble never clears
+        // the detection threshold, so candidate exclusion has nothing to
+        // work with — only subtracting the strong waveform exposes it.
+        let p = params();
+        let sps = p.samples_per_symbol();
+        let emissions = [
+            emission(&p, 1, 30.0, 0, 300.0),
+            emission(&p, 2, 12.0, 6 * sps + 413, -800.0),
+        ];
+        let len = emissions[1].start_sample + emissions[1].waveform.len() + 2000;
+        let mut cap = superpose(&p, len, &emissions);
+        let mut rng = StdRng::seed_from_u64(6);
+        add_unit_noise(&mut rng, &mut cap);
+
+        let cic_only = receiver().receive(&cap);
+        assert!(
+            !cic_only
+                .iter()
+                .any(|q| q.payload.as_deref() == Some(&payload(2)[..])),
+            "plain CIC should not see the buried packet in this scenario"
+        );
+
+        let cfg = CicConfig {
+            sic: crate::sic::SicConfig::hybrid(),
+            ..CicConfig::default()
+        };
+        let rx = CicReceiver::new(p, CodeRate::Cr45, 16, cfg);
+        let mut residual = crate::sic::ResidualBuffer::new();
+        let (pkts, report) = rx.receive_hybrid(&cap, &mut residual);
+        let strong = pkts
+            .iter()
+            .find(|q| q.payload.as_deref() == Some(&payload(1)[..]))
+            .expect("strong packet decodes");
+        let weak = pkts
+            .iter()
+            .find(|q| q.payload.as_deref() == Some(&payload(2)[..]))
+            .expect("hybrid recovers the buried packet");
+        assert_eq!(strong.sic_pass, 0);
+        assert!(weak.sic_pass >= 1, "recovered on a residual pass");
+        assert!(weak.detection.frame_start.abs_diff(6 * sps + 413) < sps / 2);
+        assert!(report.passes >= 1 && report.recovered >= 1, "{report:?}");
+        // Output is sorted by frame start in hybrid mode.
+        for w in pkts.windows(2) {
+            assert!(w[0].detection.frame_start <= w[1].detection.frame_start);
+        }
+    }
+
+    #[test]
+    fn hybrid_parallel_matches_sequential() {
+        let p = params();
+        let sps = p.samples_per_symbol();
+        let emissions = [
+            emission(&p, 1, 28.0, 0, 500.0),
+            emission(&p, 2, 11.0, 5 * sps + 271, -600.0),
+        ];
+        let len = emissions[1].start_sample + emissions[1].waveform.len() + 2000;
+        let mut cap = superpose(&p, len, &emissions);
+        let mut rng = StdRng::seed_from_u64(7);
+        add_unit_noise(&mut rng, &mut cap);
+        let cfg = CicConfig {
+            sic: crate::sic::SicConfig::hybrid(),
+            ..CicConfig::default()
+        };
+        let rx = CicReceiver::new(p, CodeRate::Cr45, 16, cfg);
+        let seq = rx.receive(&cap);
+        let par = rx.receive_parallel(&cap, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.detection.frame_start, b.detection.frame_start);
+            assert_eq!(a.symbols, b.symbols);
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.sic_pass, b.sic_pass);
         }
     }
 

@@ -1,0 +1,185 @@
+//! The residual buffer: a retained copy of the capture that decoded
+//! packets are progressively subtracted from.
+//!
+//! Lifecycle per receive call: [`ResidualBuffer::load`] copies the
+//! capture in (reusing the allocation from the previous call — the
+//! scratch-arena discipline of the demod hot path), then each
+//! CRC-clean packet is removed with [`ResidualBuffer::cancel`]:
+//! regenerate the frame from its decoded symbols, refine
+//! timing/CFO/gain against the buffer ([`crate::sic::estimate`]), and
+//! subtract the scaled reference ([`crate::sic::subtract`]). The
+//! receiver then re-runs CIC over [`ResidualBuffer::samples`] to find
+//! packets that were buried. A buffer is *not* kept across captures:
+//! the streaming receiver reloads it from its bounded window every
+//! push, so eviction stays the window's concern.
+
+use lora_dsp::Cf32;
+use lora_phy::modulate::Modulator;
+
+use crate::sic::estimate::refine;
+use crate::sic::subtract::subtract_scaled;
+use crate::sic::SicConfig;
+
+/// Outcome of one attempted packet cancellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CancelOutcome {
+    /// The scaled reference was subtracted from the packet's span.
+    Cancelled {
+        /// How far the span's energy dropped, in dB.
+        reduction_db: f64,
+    },
+    /// The fit captured no more of the span's energy than a noise-only
+    /// fit would ([`SicConfig::min_match_db`]), or the frame does not
+    /// overlap the buffer. Nothing was subtracted: forcing a misaligned
+    /// or mis-decoded reference out would smear a structured artifact
+    /// over every other packet's symbols.
+    Abandoned,
+}
+
+/// Reusable arena for the residual-cancellation pass.
+#[derive(Debug, Default)]
+pub struct ResidualBuffer {
+    residual: Vec<Cf32>,
+    reference: Vec<Cf32>,
+}
+
+impl ResidualBuffer {
+    /// An empty buffer. No allocation happens until the first
+    /// [`ResidualBuffer::load`], so receivers with SIC disabled can own
+    /// one for free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `capture` in, replacing the previous residual and reusing
+    /// the allocation.
+    pub fn load(&mut self, capture: &[Cf32]) {
+        self.residual.clear();
+        self.residual.extend_from_slice(capture);
+    }
+
+    /// The current residual.
+    pub fn samples(&self) -> &[Cf32] {
+        &self.residual
+    }
+
+    /// Total energy of the current residual.
+    pub fn energy(&self) -> f64 {
+        lora_dsp::math::energy(&self.residual)
+    }
+
+    /// Cancel one decoded packet: regenerate its frame from `symbols`,
+    /// refine timing/CFO/gain around (`frame_start`, `cfo_bins`), and
+    /// subtract the scaled reference in place. Only CRC-clean packets
+    /// should be offered — subtracting wrong symbols injects noise.
+    pub fn cancel(
+        &mut self,
+        modulator: &Modulator,
+        symbols: &[usize],
+        frame_start: usize,
+        cfo_bins: f64,
+        cfg: &SicConfig,
+    ) -> CancelOutcome {
+        let params = *modulator.params();
+        modulator.frame_waveform_into(symbols, &mut self.reference);
+        lora_phy::chirp::apply_cfo(&params, &mut self.reference, cfo_bins * params.bin_hz(), 0);
+        let Some(est) = refine(
+            &params,
+            &self.residual,
+            &mut self.reference,
+            frame_start,
+            cfo_bins,
+            cfg,
+        ) else {
+            return CancelOutcome::Abandoned;
+        };
+        // Gate on the captured-energy ratio relative to the noise-fit
+        // floor of 1/span.
+        if est.match_ratio * est.span as f64 <= lora_dsp::math::from_db(cfg.min_match_db) {
+            return CancelOutcome::Abandoned;
+        }
+        let start = est.frame_start;
+        let end = (start + self.reference.len()).min(self.residual.len());
+        let span = &mut self.residual[start..end];
+        let e_before = lora_dsp::math::energy(span);
+        subtract_scaled(span, &self.reference[..end - start], est.gain);
+        let e_after = lora_dsp::math::energy(span);
+        CancelOutcome::Cancelled {
+            reduction_db: lora_dsp::math::db(e_before / e_after.max(f64::MIN_POSITIVE)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::chirp::apply_cfo;
+    use lora_phy::params::LoraParams;
+
+    fn params() -> LoraParams {
+        LoraParams::new(8, 250e3, 4).unwrap()
+    }
+
+    #[test]
+    fn cancel_removes_a_clean_packet() {
+        let p = params();
+        let m = Modulator::new(p);
+        let symbols: Vec<usize> = (0..24).map(|i| (i * 91) % 256).collect();
+        let mut wave = m.frame_waveform(&symbols);
+        apply_cfo(&p, &mut wave, 0.4 * p.bin_hz(), 0);
+        let mut cap = vec![Cf32::new(0.0, 0.0); wave.len() + 4000];
+        for (c, w) in cap[1500..].iter_mut().zip(&wave) {
+            *c += 0.7 * *w;
+        }
+        let mut buf = ResidualBuffer::new();
+        buf.load(&cap);
+        let cfg = SicConfig {
+            depth: 1,
+            ..SicConfig::default()
+        };
+        match buf.cancel(&m, &symbols, 1502, 0.35, &cfg) {
+            CancelOutcome::Cancelled { reduction_db } => {
+                assert!(reduction_db >= 40.0, "only {reduction_db:.1} dB");
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert!(buf.energy() < 1e-4 * lora_dsp::math::energy(&cap));
+    }
+
+    #[test]
+    fn wrong_symbols_are_abandoned_and_leave_the_buffer_intact() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = params();
+        let m = Modulator::new(p);
+        let mut rng = StdRng::seed_from_u64(31);
+        let cap = lora_channel::awgn::noise_buffer(&mut rng, 80_000);
+        let mut buf = ResidualBuffer::new();
+        buf.load(&cap);
+        let before = buf.energy();
+        let symbols: Vec<usize> = (0..24).map(|i| (i * 7) % 256).collect();
+        let cfg = SicConfig {
+            depth: 1,
+            ..SicConfig::default()
+        };
+        assert_eq!(
+            buf.cancel(&m, &symbols, 2000, 0.0, &cfg),
+            CancelOutcome::Abandoned
+        );
+        assert_eq!(
+            buf.energy(),
+            before,
+            "abandoned cancel must not touch samples"
+        );
+    }
+
+    #[test]
+    fn load_reuses_the_buffer() {
+        let mut buf = ResidualBuffer::new();
+        buf.load(&[Cf32::new(1.0, 0.0); 64]);
+        let cap_before = buf.residual.capacity();
+        buf.load(&[Cf32::new(0.5, 0.0); 32]);
+        assert_eq!(buf.samples().len(), 32);
+        assert_eq!(buf.residual.capacity(), cap_before);
+    }
+}

@@ -18,6 +18,7 @@ use lora_phy::params::{CodeRate, LoraParams};
 
 use crate::config::CicConfig;
 use crate::receiver::{CicReceiver, DecodedPacket};
+use crate::sic::{ResidualBuffer, SicReport};
 
 /// A chunk-at-a-time CIC receiver with bounded memory.
 pub struct StreamingReceiver {
@@ -27,6 +28,11 @@ pub struct StreamingReceiver {
     origin: usize,
     /// Absolute frame starts already emitted (recent ones only).
     emitted: Vec<usize>,
+    /// Long-lived arena for the SIC residual stage (empty and untouched
+    /// while `config.sic.depth == 0`).
+    residual: ResidualBuffer,
+    /// Cumulative SIC counters across all pushes.
+    sic: SicReport,
 }
 
 impl StreamingReceiver {
@@ -37,12 +43,25 @@ impl StreamingReceiver {
             buffer: Vec::new(),
             origin: 0,
             emitted: Vec::new(),
+            residual: ResidualBuffer::new(),
+            sic: SicReport::default(),
         }
     }
 
     /// The wrapped batch receiver.
     pub fn inner(&self) -> &CicReceiver {
         &self.rx
+    }
+
+    /// Cumulative counters of the SIC residual stage over the stream so
+    /// far. All zero while the stage is disabled. Emission of
+    /// SIC-recovered packets goes through the same suppressions as every
+    /// other packet, so [`Self::holdback`] and the watermark contract
+    /// are unchanged by the residual pass: a recovered packet's frame
+    /// lies inside the buffered window it was subtracted from, hence
+    /// `frame_start >= position() - holdback()` still holds.
+    pub fn sic_report(&self) -> SicReport {
+        self.sic
     }
 
     /// Swap the decoder configuration at runtime (e.g. a gateway lowering
@@ -174,7 +193,9 @@ impl StreamingReceiver {
         let sps = self.rx.params().samples_per_symbol();
         let frame = self.frame_len();
         let mut out = Vec::new();
-        for mut pkt in self.rx.receive_auto(&self.buffer) {
+        let (packets, report) = self.rx.receive_hybrid(&self.buffer, &mut self.residual);
+        self.sic.absorb(report);
+        for mut pkt in packets {
             // Hold packets that ran off the end of the buffer — the next
             // push will complete them. Also hold packets whose frame ends
             // within two symbols of the stream head: a detection made at
@@ -481,6 +502,59 @@ mod tests {
             assert!(pkt.detection.frame_start.abs_diff(*ts) <= 4);
             assert_eq!(pkt.payload.as_deref(), Some(&tp[..]));
         }
+    }
+
+    #[test]
+    fn streaming_sic_emits_recovered_packet_exactly_once() {
+        // A buried packet is recovered by the residual pass of *every*
+        // push whose window still contains it — the emission dedup must
+        // collapse those into one packet, and the cumulative report
+        // still counts each raw recovery.
+        let p = params();
+        let x = Transceiver::new(p, CodeRate::Cr45);
+        let sps = p.samples_per_symbol();
+        let truth = vec![(3000usize, payload(1)), (3000 + 6 * sps + 413, payload(2))];
+        let emissions = [
+            Emission {
+                waveform: x.waveform(&truth[0].1),
+                amplitude: amplitude_for_snr(30.0, p.oversampling()),
+                start_sample: truth[0].0,
+                cfo_hz: 300.0,
+            },
+            Emission {
+                waveform: x.waveform(&truth[1].1),
+                amplitude: amplitude_for_snr(12.0, p.oversampling()),
+                start_sample: truth[1].0,
+                cfo_hz: -800.0,
+            },
+        ];
+        let len = truth[1].0 + x.frame_samples(14) + 40_000;
+        let mut cap = superpose(&p, len, &emissions);
+        let mut rng = StdRng::seed_from_u64(91);
+        add_unit_noise(&mut rng, &mut cap);
+
+        let cfg = CicConfig {
+            sic: crate::sic::SicConfig::hybrid(),
+            ..CicConfig::default()
+        };
+        let mut s = StreamingReceiver::new(p, CodeRate::Cr45, 14, cfg);
+        let mut got = Vec::new();
+        for c in cap.chunks(8192) {
+            got.extend(s.push(c));
+        }
+        got.extend(s.flush());
+        got.sort_by_key(|pk| pk.detection.frame_start);
+        assert_eq!(got.len(), 2, "strong + recovered weak, no duplicates");
+        for (pkt, (ts, tp)) in got.iter().zip(&truth) {
+            assert!(pkt.detection.frame_start.abs_diff(*ts) <= 8);
+            assert_eq!(pkt.payload.as_deref(), Some(&tp[..]));
+        }
+        assert!(
+            got[1].sic_pass >= 1,
+            "weak packet came from a residual pass"
+        );
+        let report = s.sic_report();
+        assert!(report.passes >= 1 && report.recovered >= 1, "{report:?}");
     }
 
     #[test]

@@ -50,6 +50,7 @@ use lora_phy::params::{CodeRate, LoraParams};
 
 use crate::load::{
     ControlAction, OverloadConfig, OverloadController, OverloadPolicy, WorkerControl, SHED_RUNG,
+    SIC_RUNG,
 };
 use crate::queue::{Chunk, ChunkQueue, Pop};
 use crate::sink::{GatewayPacket, PacketSink};
@@ -124,6 +125,21 @@ impl WorkerCtx {
         (channel_sample as u64 * self.decimation).saturating_sub(self.delay_wideband)
     }
 
+    /// Decoder configuration for one ladder rung. [`SIC_RUNG`] is the
+    /// full base configuration (residual cancellation as configured);
+    /// every ordinary effort rung — including full-effort rung 0 — runs
+    /// with the SIC stage disabled, so the ladder alone decides when the
+    /// gateway spends headroom on residual passes.
+    fn config_for_rung(&self, rung: usize) -> CicConfig {
+        if rung == SIC_RUNG {
+            self.base_cic.clone()
+        } else {
+            let mut c = self.base_cic.effort_rung(rung);
+            c.sic.depth = 0;
+            c
+        }
+    }
+
     /// Count and forward freshly decoded packets to the sink.
     fn deliver(&self, packets: Vec<DecodedPacket>) {
         if packets.is_empty() {
@@ -165,6 +181,7 @@ fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
                 if shed_since.is_none() {
                     let out = sr.quiesce();
                     ctx.deliver(out);
+                    ctx.wstats.store_sic_report(&sr.sic_report());
                     ctx.sink
                         .set_watermark(ctx.idx, ctx.to_wideband(sr.position()));
                 }
@@ -196,7 +213,7 @@ fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
                 }
                 let rung = ctx.control.rung();
                 if rung != applied_rung {
-                    sr.set_config(ctx.base_cic.effort_rung(rung));
+                    sr.set_config(ctx.config_for_rung(rung));
                     applied_rung = rung;
                 }
                 let mut decoded = Vec::new();
@@ -212,6 +229,7 @@ fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
                 ctx.stats.decode.record(dt);
                 ctx.wstats.record_decode_ewma(dt);
                 ctx.deliver(decoded);
+                ctx.wstats.store_sic_report(&sr.sic_report());
                 let safe = sr.position().saturating_sub(holdback);
                 ctx.sink.set_watermark(ctx.idx, ctx.to_wideband(safe));
             }
@@ -225,6 +243,7 @@ fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
     // Queue closed and drained: decode what the buffer still holds.
     let rest = sr.flush();
     ctx.deliver(rest);
+    ctx.wstats.store_sic_report(&sr.sic_report());
     ctx.sink.finish_worker(ctx.idx);
 }
 
@@ -236,6 +255,7 @@ fn policy_loop(
     worker_sfs: Vec<u8>,
     queue_capacity: usize,
     controls: Vec<Arc<WorkerControl>>,
+    stats: Arc<GatewayStats>,
     wstats: Vec<Arc<WorkerStats>>,
     stop: Arc<AtomicBool>,
 ) {
@@ -258,6 +278,7 @@ fn policy_loop(
                     wstats[worker]
                         .effort_rung
                         .store(rung as u64, Ordering::Relaxed);
+                    stats.record_rung_engagement(rung);
                     let counter = if degrade {
                         &wstats[worker].degrade_events
                     } else {
@@ -271,6 +292,7 @@ fn policy_loop(
                         wstats[w]
                             .effort_rung
                             .store(SHED_RUNG as u64, Ordering::Relaxed);
+                        stats.record_rung_engagement(SHED_RUNG);
                         wstats[w].degrade_events.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -279,6 +301,7 @@ fn policy_loop(
                         let rung = CicConfig::MAX_EFFORT_RUNG;
                         controls[w].set_rung(rung);
                         wstats[w].effort_rung.store(rung as u64, Ordering::Relaxed);
+                        stats.record_rung_engagement(rung);
                         wstats[w].restore_events.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -310,8 +333,17 @@ pub struct Gateway {
 impl Gateway {
     /// Spawn the worker pool (and, under the adaptive policy, the control
     /// thread) and return a ready gateway.
-    pub fn new(config: GatewayConfig) -> Self {
+    pub fn new(mut config: GatewayConfig) -> Self {
         assert!(!config.sfs.is_empty(), "need at least one spreading factor");
+        // Under the adaptive ladder, a configured SIC stage becomes the
+        // boost rung: workers start without it and earn it through
+        // recovery steps, so residual passes only ever run with headroom.
+        // (Under drop-oldest there is no controller, so the base config —
+        // SIC included — applies unconditionally.)
+        let adaptive = config.overload.policy == OverloadPolicy::Adaptive;
+        if adaptive && config.cic.sic.enabled() {
+            config.overload.sic_boost = true;
+        }
         let workers = config.workers();
         let stats = Arc::new(GatewayStats::new(&workers));
         let channelizer = Channelizer::new(config.channelizer.clone());
@@ -333,11 +365,19 @@ impl Gateway {
             let wstats = stats.worker(idx);
             let queue = Arc::new(ChunkQueue::new(config.queue_capacity, wstats.clone()));
             let control = Arc::new(WorkerControl::new());
+            let initial_cic = if adaptive {
+                // Workers start at rung 0: full effort, no SIC boost.
+                let mut c = config.cic.clone();
+                c.sic.depth = 0;
+                c
+            } else {
+                config.cic.clone()
+            };
             let sr = StreamingReceiver::new(
                 config.channel_params(sf),
                 config.code_rate,
                 config.payload_len,
-                config.cic.clone(),
+                initial_cic,
             );
             let ctx = WorkerCtx {
                 idx,
@@ -372,11 +412,14 @@ impl Gateway {
             let cfg = config.overload.clone();
             let capacity = config.queue_capacity;
             let ctrls = controls.clone();
+            let gstats = stats.clone();
             let stop = policy_stop.clone();
             Some(
                 std::thread::Builder::new()
                     .name("gw-policy".into())
-                    .spawn(move || policy_loop(cfg, worker_sfs, capacity, ctrls, wstats, stop))
+                    .spawn(move || {
+                        policy_loop(cfg, worker_sfs, capacity, ctrls, gstats, wstats, stop)
+                    })
                     .expect("spawn gateway policy thread"),
             )
         } else {
@@ -454,7 +497,12 @@ impl Gateway {
             h.join().expect("gateway policy thread panicked");
         }
         for c in &self.controls {
-            c.set_rung(0);
+            // Shed and degraded workers come back to full effort; a
+            // granted SIC boost stays — only heat revokes it, and with
+            // the stream ended there is no load left to protect.
+            if c.rung() != SIC_RUNG {
+                c.set_rung(0);
+            }
         }
         let t0 = Instant::now();
         let tail = self.channelizer.flush();

@@ -31,8 +31,11 @@ pub mod stats;
 pub use gateway::{Gateway, GatewayConfig};
 pub use load::{
     ControlAction, LoadMonitor, OverloadConfig, OverloadController, OverloadPolicy, WorkerControl,
-    SHED_RUNG,
+    SHED_RUNG, SIC_RUNG,
 };
 pub use queue::{Chunk, ChunkQueue, Pop};
 pub use sink::{GatewayPacket, PacketSink};
-pub use stats::{GatewaySnapshot, GatewayStats, HistogramSnapshot, LatencyHistogram, WorkerStats};
+pub use stats::{
+    rung_slot, GatewaySnapshot, GatewayStats, HistogramSnapshot, LatencyHistogram, WorkerStats,
+    RUNG_SLOTS,
+};

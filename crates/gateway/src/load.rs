@@ -36,6 +36,16 @@ use std::time::Duration;
 /// [`cic::CicConfig::effort_rung`] understands.
 pub const SHED_RUNG: usize = usize::MAX;
 
+/// Boost rung *above* full effort: the worker runs the full-effort CIC
+/// configuration plus the SIC residual-cancellation stage
+/// ([`cic::sic`]), which multiplies decode cost per chunk. The ladder
+/// orders it strictly above rung 0 — a worker is only promoted here by a
+/// recovery step when [`OverloadConfig::sic_boost`] is set and the whole
+/// gateway has been cool for a sustained period, and it is the first
+/// thing given back when the worker runs hot. Distinct from every rung
+/// [`cic::CicConfig::effort_rung`] understands.
+pub const SIC_RUNG: usize = usize::MAX - 1;
+
 /// How the gateway responds when decoders fall behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverloadPolicy {
@@ -71,6 +81,11 @@ pub struct OverloadConfig {
     /// watermark (see `Gateway` docs); shared here because it is part of
     /// the same liveness/overload control plane.
     pub idle_timeout: Duration,
+    /// Allow recovery steps to promote fully-recovered workers (rung 0)
+    /// to the [`SIC_RUNG`] boost rung, spending spare headroom on the
+    /// SIC residual stage. The gateway enables this automatically when
+    /// its base CIC config has `sic.depth > 0`.
+    pub sic_boost: bool,
 }
 
 impl Default for OverloadConfig {
@@ -85,6 +100,7 @@ impl Default for OverloadConfig {
             recover_ticks: 25,
             min_active_sfs: 1,
             idle_timeout: Duration::from_millis(500),
+            sic_boost: false,
         }
     }
 }
@@ -269,13 +285,24 @@ impl OverloadController {
         let mut actions = Vec::new();
 
         // 1. Effort escalation on each sustained-hot worker with rungs
-        //    left to give.
+        //    left to give. The SIC boost is the first thing to go: it is
+        //    the single most expensive optional stage, so a hot boosted
+        //    worker drops straight back to plain full effort before the
+        //    ordinary rungs are touched.
         let mut exhausted_hot = false;
         for w in 0..self.sfs.len() {
             if self.rungs[w] == SHED_RUNG || self.monitor.hot_streak(w) < self.cfg.escalate_ticks {
                 continue;
             }
-            if self.rungs[w] < self.max_rung {
+            if self.rungs[w] == SIC_RUNG {
+                self.rungs[w] = 0;
+                self.monitor.reset_streaks(w);
+                actions.push(ControlAction::SetRung {
+                    worker: w,
+                    rung: 0,
+                    degrade: true,
+                });
+            } else if self.rungs[w] < self.max_rung {
                 self.rungs[w] += 1;
                 self.monitor.reset_streaks(w);
                 actions.push(ControlAction::SetRung {
@@ -325,13 +352,29 @@ impl OverloadController {
                 actions.push(ControlAction::Restore { sf, workers });
             } else {
                 for w in 0..self.sfs.len() {
-                    if self.rungs[w] != SHED_RUNG && self.rungs[w] > 0 {
-                        self.rungs[w] -= 1;
-                        actions.push(ControlAction::SetRung {
-                            worker: w,
-                            rung: self.rungs[w],
-                            degrade: false,
-                        });
+                    match self.rungs[w] {
+                        // Already at the top of the ladder (or shed —
+                        // handled by the stack pop above).
+                        SHED_RUNG | SIC_RUNG => {}
+                        // Fully recovered: the last upward step grants
+                        // the SIC boost, and only when configured.
+                        0 if self.cfg.sic_boost => {
+                            self.rungs[w] = SIC_RUNG;
+                            actions.push(ControlAction::SetRung {
+                                worker: w,
+                                rung: SIC_RUNG,
+                                degrade: false,
+                            });
+                        }
+                        0 => {}
+                        _ => {
+                            self.rungs[w] -= 1;
+                            actions.push(ControlAction::SetRung {
+                                worker: w,
+                                rung: self.rungs[w],
+                                degrade: false,
+                            });
+                        }
                     }
                 }
                 if !actions.is_empty() {
@@ -508,6 +551,69 @@ mod tests {
         // The others stay at full effort.
         assert_eq!(c.rung(1), 0);
         assert_eq!(c.rung(2), 0);
+    }
+
+    #[test]
+    fn sic_boost_promotes_only_after_sustained_cool() {
+        let mut c = OverloadController::new(
+            OverloadConfig {
+                sic_boost: true,
+                ..cfg()
+            },
+            &sfs(),
+        );
+        // Below the recovery dwell: no promotion yet.
+        assert!(tick_n(&mut c, &[0, 0, 0, 0], 8, 3).is_empty());
+        // The dwell completes: every rung-0 worker gets the boost.
+        let a = c.tick(&[0, 0, 0, 0], 8);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|x| matches!(
+            x,
+            ControlAction::SetRung {
+                rung: SIC_RUNG,
+                degrade: false,
+                ..
+            }
+        )));
+        assert!((0..4).all(|w| c.rung(w) == SIC_RUNG));
+        // The boost is the top of the ladder: staying cool emits nothing.
+        assert!(tick_n(&mut c, &[0, 0, 0, 0], 8, 50).is_empty());
+    }
+
+    #[test]
+    fn hot_boosted_worker_drops_sic_before_effort_rungs() {
+        let mut c = OverloadController::new(
+            OverloadConfig {
+                sic_boost: true,
+                ..cfg()
+            },
+            &sfs(),
+        );
+        tick_n(&mut c, &[0, 0, 0, 0], 8, 4);
+        assert_eq!(c.rung(0), SIC_RUNG);
+        // Worker 0 runs hot: the first downward step lands on plain full
+        // effort (rung 0), not an effort-reduction rung.
+        let a = tick_n(&mut c, &[8, 0, 0, 0], 8, 2);
+        assert_eq!(
+            a,
+            vec![ControlAction::SetRung {
+                worker: 0,
+                rung: 0,
+                degrade: true
+            }]
+        );
+        // The cool workers keep their boost; sustained heat on worker 0
+        // then walks the ordinary effort ladder.
+        assert_eq!(c.rung(1), SIC_RUNG);
+        let a = tick_n(&mut c, &[8, 0, 0, 0], 8, 2);
+        assert_eq!(
+            a,
+            vec![ControlAction::SetRung {
+                worker: 0,
+                rung: 1,
+                degrade: true
+            }]
+        );
     }
 
     #[test]

@@ -216,6 +216,7 @@ mod tests {
                 payload: Some(payload.to_vec()),
                 truncated_symbols: 0,
                 contested_symbols: 0,
+                sic_pass: 0,
             },
         }
     }
@@ -300,6 +301,32 @@ mod tests {
         let got = sink.take_released();
         let starts: Vec<u64> = got.iter().map(|p| p.start_wideband).collect();
         assert_eq!(starts, vec![5_000, 7_000], "released buffer out of order");
+    }
+
+    #[test]
+    fn sic_redecode_of_released_packet_is_suppressed() {
+        // A SIC residual pass can re-detect a transmission the primary
+        // pass already reported (a neighbouring subtraction sharpens its
+        // ghost). The payload dedup must suppress the ghost, while a
+        // genuinely new recovered packet — reported below the watermark,
+        // because the residual pass re-reads buffered history — is
+        // released immediately and in time order.
+        let s = stats();
+        let sink = PacketSink::new(2, 16, 9, s.clone());
+        sink.report(vec![pkt(0, 7, 10_000, b"strong")]);
+        sink.set_watermark(0, 20_000);
+        sink.set_watermark(1, 20_000);
+        assert_eq!(sink.take_released().len(), 1);
+        let mut ghost = pkt(0, 7, 10_128, b"strong");
+        ghost.packet.sic_pass = 1;
+        let mut weak = pkt(0, 7, 6_000, b"weak");
+        weak.packet.sic_pass = 1;
+        sink.report(vec![ghost, weak]);
+        let got = sink.take_released();
+        assert_eq!(got.len(), 1, "ghost must be suppressed: {got:?}");
+        assert_eq!(got[0].start_wideband, 6_000);
+        assert_eq!(got[0].packet.sic_pass, 1);
+        assert_eq!(s.snapshot().duplicates_suppressed, 1);
     }
 
     #[test]

@@ -10,6 +10,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::load::{SHED_RUNG, SIC_RUNG};
+
+/// Number of ladder-engagement counter slots: one per CIC effort rung
+/// (`0..=MAX_EFFORT_RUNG`), plus the SIC boost rung, plus the shed
+/// pseudo-rung.
+pub const RUNG_SLOTS: usize = cic::CicConfig::MAX_EFFORT_RUNG + 3;
+
+/// Map an effort rung (including [`SIC_RUNG`] and [`SHED_RUNG`]) to its
+/// engagement-counter slot: effort rungs occupy `0..=MAX_EFFORT_RUNG`,
+/// then the SIC boost rung, then shed.
+pub fn rung_slot(rung: usize) -> usize {
+    match rung {
+        SHED_RUNG => cic::CicConfig::MAX_EFFORT_RUNG + 2,
+        SIC_RUNG => cic::CicConfig::MAX_EFFORT_RUNG + 1,
+        r => r.min(cic::CicConfig::MAX_EFFORT_RUNG),
+    }
+}
+
 /// Number of log2 latency buckets: bucket `i` holds durations in
 /// `[2^i, 2^{i+1})` nanoseconds, the last bucket absorbs the tail
 /// (`2^39` ns ≈ 9 minutes).
@@ -131,6 +149,13 @@ pub struct WorkerStats {
     pub restore_events: AtomicU64,
     /// Accumulated time spent shed, microseconds.
     pub shed_micros: AtomicU64,
+    /// SIC residual passes run — a gauge mirroring the streaming
+    /// receiver's cumulative [`cic::SicReport`] (single writer).
+    pub sic_passes: AtomicU64,
+    /// Packets recovered from SIC residual passes (same source).
+    pub sic_packets_recovered: AtomicU64,
+    /// Packet subtractions abandoned by the SIC match gate (same source).
+    pub sic_residual_abandoned: AtomicU64,
 }
 
 impl WorkerStats {
@@ -152,7 +177,20 @@ impl WorkerStats {
             degrade_events: AtomicU64::new(0),
             restore_events: AtomicU64::new(0),
             shed_micros: AtomicU64::new(0),
+            sic_passes: AtomicU64::new(0),
+            sic_packets_recovered: AtomicU64::new(0),
+            sic_residual_abandoned: AtomicU64::new(0),
         }
+    }
+
+    /// Mirror the streaming receiver's cumulative SIC report into the
+    /// gauges (single-writer: only the owning worker calls this).
+    pub fn store_sic_report(&self, report: &cic::SicReport) {
+        self.sic_passes.store(report.passes, Ordering::Relaxed);
+        self.sic_packets_recovered
+            .store(report.recovered, Ordering::Relaxed);
+        self.sic_residual_abandoned
+            .store(report.abandoned, Ordering::Relaxed);
     }
 
     /// Fold one decode latency into the EWMA gauge (single-writer:
@@ -186,6 +224,9 @@ impl WorkerStats {
             degrade_events: self.degrade_events.load(Ordering::Relaxed),
             restore_events: self.restore_events.load(Ordering::Relaxed),
             shed_micros: self.shed_micros.load(Ordering::Relaxed),
+            sic_passes: self.sic_passes.load(Ordering::Relaxed),
+            sic_packets_recovered: self.sic_packets_recovered.load(Ordering::Relaxed),
+            sic_residual_abandoned: self.sic_residual_abandoned.load(Ordering::Relaxed),
         }
     }
 }
@@ -223,6 +264,12 @@ pub struct WorkerSnapshot {
     pub restore_events: u64,
     /// Time spent shed, microseconds.
     pub shed_micros: u64,
+    /// SIC residual passes run by this worker's streaming receiver.
+    pub sic_passes: u64,
+    /// Packets recovered from those passes.
+    pub sic_packets_recovered: u64,
+    /// Subtractions abandoned by the SIC match gate.
+    pub sic_residual_abandoned: u64,
 }
 
 /// All gateway telemetry, shared between the front end, the workers and
@@ -240,6 +287,9 @@ pub struct GatewayStats {
     pub channelize: LatencyHistogram,
     /// Latency of one streaming-receiver push (detection + decode).
     pub decode: LatencyHistogram,
+    /// Ladder engagements per rung slot (see [`rung_slot`]): how many
+    /// times the policy thread moved some worker *onto* that rung.
+    rung_engagements: [AtomicU64; RUNG_SLOTS],
     per_worker: Vec<Arc<WorkerStats>>,
 }
 
@@ -253,6 +303,7 @@ impl GatewayStats {
             duplicates_suppressed: AtomicU64::new(0),
             channelize: LatencyHistogram::new(),
             decode: LatencyHistogram::new(),
+            rung_engagements: std::array::from_fn(|_| AtomicU64::new(0)),
             per_worker: workers
                 .iter()
                 .map(|&(ch, sf)| Arc::new(WorkerStats::new(ch, sf)))
@@ -263,6 +314,12 @@ impl GatewayStats {
     /// The counters of worker `idx` (shared handle).
     pub fn worker(&self, idx: usize) -> Arc<WorkerStats> {
         self.per_worker[idx].clone()
+    }
+
+    /// Count one worker being moved onto `rung` (any ladder transition,
+    /// including [`SIC_RUNG`] and [`SHED_RUNG`]).
+    pub fn record_rung_engagement(&self, rung: usize) {
+        self.rung_engagements[rung_slot(rung)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copy every counter at this instant. Callable from any thread while
@@ -283,6 +340,14 @@ impl GatewayStats {
             degrade_events: workers.iter().map(|w| w.degrade_events).sum(),
             restore_events: workers.iter().map(|w| w.restore_events).sum(),
             shed_seconds: workers.iter().map(|w| w.shed_micros).sum::<u64>() as f64 / 1e6,
+            sic_passes: workers.iter().map(|w| w.sic_passes).sum(),
+            sic_packets_recovered: workers.iter().map(|w| w.sic_packets_recovered).sum(),
+            sic_residual_abandoned: workers.iter().map(|w| w.sic_residual_abandoned).sum(),
+            rung_engagements: self
+                .rung_engagements
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             channelize: self.channelize.snapshot(),
             decode: self.decode.snapshot(),
             workers,
@@ -321,6 +386,15 @@ pub struct GatewaySnapshot {
     /// Total worker-time spent shed, seconds (summed over workers: two
     /// workers shed for 1 s each count 2 s).
     pub shed_seconds: f64,
+    /// SIC residual passes, summed over workers.
+    pub sic_passes: u64,
+    /// Packets recovered by SIC residual passes, summed over workers.
+    pub sic_packets_recovered: u64,
+    /// SIC subtractions abandoned by the match gate, summed over workers.
+    pub sic_residual_abandoned: u64,
+    /// Ladder engagements per rung slot (see [`rung_slot`]); length
+    /// [`RUNG_SLOTS`].
+    pub rung_engagements: Vec<u64>,
     /// Channelizer latency histogram.
     pub channelize: HistogramSnapshot,
     /// Decode latency histogram.
@@ -414,6 +488,36 @@ mod tests {
         assert_eq!(s.chunks_shed, 7);
         assert_eq!(s.samples_shed, 700);
         assert_eq!(s.workers[1].shed_micros, 2_500_000);
+    }
+
+    #[test]
+    fn snapshot_aggregates_sic_telemetry() {
+        let stats = GatewayStats::new(&[(0, 7), (0, 9)]);
+        stats.worker(0).store_sic_report(&cic::SicReport {
+            passes: 4,
+            recovered: 2,
+            abandoned: 1,
+        });
+        stats.worker(1).store_sic_report(&cic::SicReport {
+            passes: 1,
+            recovered: 1,
+            abandoned: 0,
+        });
+        stats.record_rung_engagement(SIC_RUNG);
+        stats.record_rung_engagement(SIC_RUNG);
+        stats.record_rung_engagement(1);
+        stats.record_rung_engagement(SHED_RUNG);
+        let s = stats.snapshot();
+        assert_eq!(s.sic_passes, 5);
+        assert_eq!(s.sic_packets_recovered, 3);
+        assert_eq!(s.sic_residual_abandoned, 1);
+        assert_eq!(s.workers[0].sic_passes, 4);
+        assert_eq!(s.workers[1].sic_packets_recovered, 1);
+        assert_eq!(s.rung_engagements.len(), RUNG_SLOTS);
+        assert_eq!(s.rung_engagements[rung_slot(SIC_RUNG)], 2);
+        assert_eq!(s.rung_engagements[rung_slot(1)], 1);
+        assert_eq!(s.rung_engagements[rung_slot(SHED_RUNG)], 1);
+        assert_eq!(s.rung_engagements[rung_slot(0)], 0);
     }
 
     #[test]

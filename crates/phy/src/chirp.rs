@@ -18,6 +18,15 @@ use crate::params::LoraParams;
 /// The phase is accumulated in `f64` to keep error far below a milliradian
 /// over even SF 12 symbols.
 pub fn symbol_waveform(params: &LoraParams, s: usize) -> Vec<Cf32> {
+    let mut out = Vec::with_capacity(params.samples_per_symbol());
+    symbol_waveform_append(params, s, &mut out);
+    out
+}
+
+/// Append the waveform of data symbol `s` to `out` instead of allocating
+/// a fresh buffer. Lets waveform regeneration (the SIC subtraction path)
+/// reuse one arena buffer per worker.
+pub fn symbol_waveform_append(params: &LoraParams, s: usize, out: &mut Vec<Cf32>) {
     let n_bins = params.n_bins();
     assert!(
         s < n_bins,
@@ -26,7 +35,7 @@ pub fn symbol_waveform(params: &LoraParams, s: usize) -> Vec<Cf32> {
     );
     let os = params.oversampling() as f64;
     let len = params.samples_per_symbol();
-    let mut out = Vec::with_capacity(len);
+    out.reserve(len);
     let mut phase = 0.0f64;
     // Normalised instantaneous frequency in cycles/sample:
     //   nu(n) = (-1/2 + s/N + n/(N·os)) / os, folded into [-1/(2os), 1/(2os)).
@@ -46,7 +55,6 @@ pub fn symbol_waveform(params: &LoraParams, s: usize) -> Vec<Cf32> {
             phase += std::f64::consts::TAU;
         }
     }
-    out
 }
 
 /// The fundamental up-chirp `C_0`.

@@ -116,21 +116,30 @@ impl Modulator {
 
     /// Synthesize the complete unit-amplitude frame for `symbols`.
     pub fn frame_waveform(&self, symbols: &[usize]) -> Vec<Cf32> {
-        let p = self.params();
         let mut out = Vec::with_capacity(self.layout.frame_len(symbols.len()));
+        self.frame_waveform_into(symbols, &mut out);
+        out
+    }
+
+    /// Synthesize the frame into `out`, clearing it first and reusing its
+    /// allocation. The SIC subtraction path regenerates one frame per
+    /// cancelled packet and keeps a single arena buffer per worker.
+    pub fn frame_waveform_into(&self, symbols: &[usize], out: &mut Vec<Cf32>) {
+        let p = self.params();
+        out.clear();
+        out.reserve(self.layout.frame_len(symbols.len()));
         for _ in 0..PREAMBLE_UPCHIRPS {
             out.extend_from_slice(self.table.up());
         }
-        out.extend_from_slice(&crate::chirp::symbol_waveform(p, self.sync_x));
-        out.extend_from_slice(&crate::chirp::symbol_waveform(p, self.sync_x + 8));
+        crate::chirp::symbol_waveform_append(p, self.sync_x, out);
+        crate::chirp::symbol_waveform_append(p, self.sync_x + 8, out);
         out.extend_from_slice(self.table.down());
         out.extend_from_slice(self.table.down());
         out.extend_from_slice(self.table.quarter_down());
         for &s in symbols {
-            out.extend_from_slice(&crate::chirp::symbol_waveform(p, s));
+            crate::chirp::symbol_waveform_append(p, s, out);
         }
         debug_assert_eq!(out.len(), self.layout.frame_len(symbols.len()));
-        out
     }
 }
 
