@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use cic::CicConfig;
 use lora_channel::wideband::{generate_traffic, BandPlan, TrafficConfig};
-use lora_channel::{add_unit_noise, amplitude_for_snr};
+use lora_channel::{add_unit_noise, amplitude_for_snr, PacedReplay};
 use lora_dsp::ChannelizerConfig;
 use lora_gateway::{Gateway, GatewayConfig, OverloadConfig, OverloadPolicy};
 use lora_phy::params::CodeRate;
@@ -143,10 +143,8 @@ fn main() {
     );
 
     let pool_workers = plan.n_channels() * SFS.len();
-    let chunk_air_s = CHUNK as f64 / plan.wideband_rate_hz();
     let mut rows = Vec::new();
     for &speed in &SPEEDS {
-        let pace = Duration::from_secs_f64(chunk_air_s / speed);
         for policy in [OverloadPolicy::DropOldest, OverloadPolicy::Adaptive] {
             let config = GatewayConfig {
                 channelizer: ChannelizerConfig::uniform(
@@ -165,15 +163,24 @@ fn main() {
                 overload: overload_config(policy),
             };
             let mut gw = Gateway::new(config);
+            // Drain decodes as they release instead of sleep-polling: the
+            // subscription channel decouples delivery from the pacing loop.
+            let rx = gw.subscribe(4096);
             let t0 = Instant::now();
             let mut delivered_ok = 0usize;
-            for chunk in cap.samples.chunks(CHUNK) {
+            let mut replay = PacedReplay::new(
+                cap.samples.clone(),
+                CHUNK,
+                plan.wideband_rate_hz(),
+                Some(speed),
+            );
+            while let Some(chunk) = replay.next_chunk() {
                 gw.push(chunk);
-                std::thread::sleep(pace);
-                delivered_ok += gw.poll_packets().iter().filter(|p| p.packet.ok()).count();
+                delivered_ok += rx.try_iter().filter(|p| p.packet.ok()).count();
             }
             let (rest, snap) = gw.finish();
             delivered_ok += rest.iter().filter(|p| p.packet.ok()).count();
+            delivered_ok += rx.try_iter().filter(|p| p.packet.ok()).count();
             let wall_s = t0.elapsed().as_secs_f64();
 
             let pdr = delivered_ok as f64 / cap.truth.len().max(1) as f64;

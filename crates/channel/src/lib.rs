@@ -11,11 +11,14 @@
 //!   with per-transmitter amplitude, timing offset and CFO (paper Eqn 5);
 //! * [`wideband`] — multi-channel band synthesis: packets generated at the
 //!   wideband rate, shifted onto their channel carriers and summed, the
-//!   stimulus for the `lora-gateway` runtime.
+//!   stimulus for the `lora-gateway` runtime;
+//! * [`pace`] — chunked, optionally wall-clock-paced replay of a capture,
+//!   the adapter behind `lora-ingest`'s simulated-SDR source.
 
 pub mod awgn;
 pub mod deployment;
 pub mod mix;
+pub mod pace;
 pub mod pathloss;
 pub mod rng;
 pub mod traffic;
@@ -24,6 +27,7 @@ pub mod wideband;
 pub use awgn::{add_noise, add_unit_noise, amplitude_for_snr, snr_db_for_amplitude};
 pub use deployment::{Deployment, DeploymentKind, Node, PAPER_NODE_COUNT};
 pub use mix::{superpose, superpose_drifting_into, superpose_into, DriftingEmission, Emission};
+pub use pace::PacedReplay;
 pub use pathloss::PathLossModel;
 pub use traffic::{poisson_schedule, Arrival};
 pub use wideband::{BandPlan, TrafficConfig, WidebandCapture, WidebandPacket, WidebandTruth};

@@ -39,8 +39,9 @@
 //! the release of other workers' already-decoded packets while the
 //! producer pauses.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -247,6 +248,53 @@ fn worker_loop(ctx: WorkerCtx, mut sr: StreamingReceiver) {
     ctx.sink.finish_worker(ctx.idx);
 }
 
+/// Condvar-backed stop gate for the policy thread. The thread sleeps
+/// between ticks on [`StopGate::wait_until`]; [`StopGate::stop`] wakes it
+/// immediately, so shutdown latency is not quantised to the tick period.
+struct StopGate {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopGate {
+    fn new() -> Self {
+        Self {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until `deadline` or until [`StopGate::stop`] is called,
+    /// whichever comes first. Returns `true` if the gate was stopped.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut stopped = self.stopped.lock().expect("stop gate poisoned");
+        loop {
+            if *stopped {
+                return true;
+            }
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            // Spurious wakes loop back around; the deadline re-check
+            // above bounds the total wait.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(stopped, left)
+                .expect("stop gate poisoned");
+            stopped = guard;
+        }
+    }
+
+    fn stop(&self) {
+        *self.stopped.lock().expect("stop gate poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
 /// The control plane: samples the queue-depth gauges every tick, runs the
 /// [`OverloadController`] ladder, and applies its transitions to the
 /// per-worker [`WorkerControl`] mailboxes and telemetry.
@@ -257,12 +305,19 @@ fn policy_loop(
     controls: Vec<Arc<WorkerControl>>,
     stats: Arc<GatewayStats>,
     wstats: Vec<Arc<WorkerStats>>,
-    stop: Arc<AtomicBool>,
+    gate: Arc<StopGate>,
 ) {
     let tick = cfg.tick;
     let mut ctl = OverloadController::new(cfg, &worker_sfs);
-    while !stop.load(Ordering::Acquire) {
-        std::thread::sleep(tick);
+    // Deadline-scheduled ticks: each iteration waits until `next` rather
+    // than sleeping a fixed amount, so tick processing time does not
+    // accumulate drift, and `stop` interrupts the wait instantly.
+    let mut next = Instant::now() + tick;
+    loop {
+        if gate.wait_until(next) {
+            return;
+        }
+        next = Instant::now() + tick;
         let depths: Vec<u64> = wstats
             .iter()
             .map(|w| w.queue_depth.load(Ordering::Relaxed))
@@ -322,7 +377,7 @@ pub struct Gateway {
     /// Per-worker control mailboxes (shared with the policy thread).
     controls: Vec<Arc<WorkerControl>>,
     handles: Vec<JoinHandle<()>>,
-    policy_stop: Arc<AtomicBool>,
+    policy_gate: Arc<StopGate>,
     policy_handle: Option<JoinHandle<()>>,
     sink: Arc<PacketSink>,
     stats: Arc<GatewayStats>,
@@ -404,7 +459,7 @@ impl Gateway {
             controls.push(control);
         }
 
-        let policy_stop = Arc::new(AtomicBool::new(false));
+        let policy_gate = Arc::new(StopGate::new());
         let policy_handle = if config.overload.policy == OverloadPolicy::Adaptive {
             let worker_sfs: Vec<u8> = workers.iter().map(|&(_, sf)| sf).collect();
             let wstats: Vec<Arc<WorkerStats>> =
@@ -413,12 +468,12 @@ impl Gateway {
             let capacity = config.queue_capacity;
             let ctrls = controls.clone();
             let gstats = stats.clone();
-            let stop = policy_stop.clone();
+            let gate = policy_gate.clone();
             Some(
                 std::thread::Builder::new()
                     .name("gw-policy".into())
                     .spawn(move || {
-                        policy_loop(cfg, worker_sfs, capacity, ctrls, gstats, wstats, stop)
+                        policy_loop(cfg, worker_sfs, capacity, ctrls, gstats, wstats, gate)
                     })
                     .expect("spawn gateway policy thread"),
             )
@@ -432,7 +487,7 @@ impl Gateway {
             worker_channel,
             controls,
             handles,
-            policy_stop,
+            policy_gate,
             policy_handle,
             sink,
             stats,
@@ -479,6 +534,20 @@ impl Gateway {
         self.sink.take_released()
     }
 
+    /// Attach the gateway's single non-blocking packet subscription:
+    /// released packets are forwarded into a bounded channel the moment
+    /// the sink releases them, so consumers block on `recv` instead of
+    /// spinning on [`Gateway::poll_packets`]. Delivery preserves the
+    /// sink's release order (non-decreasing `start_wideband`, modulo
+    /// late SIC-recovered packets). If the consumer falls more than
+    /// `capacity` packets behind, the surplus waits in the sink backlog
+    /// and is flushed — still in order — on subsequent releases or by
+    /// [`Gateway::finish`]. Panics if a subscription is already
+    /// attached.
+    pub fn subscribe(&self, capacity: usize) -> Receiver<GatewayPacket> {
+        self.sink.subscribe(capacity)
+    }
+
     /// Live telemetry handle (snapshot-readable at any time).
     pub fn stats(&self) -> Arc<GatewayStats> {
         self.stats.clone()
@@ -492,7 +561,7 @@ impl Gateway {
     /// remaining merged packets (everything since the last
     /// [`Gateway::poll_packets`] call) plus a final telemetry snapshot.
     pub fn finish(mut self) -> (Vec<GatewayPacket>, GatewaySnapshot) {
-        self.policy_stop.store(true, Ordering::Release);
+        self.policy_gate.stop();
         if let Some(h) = self.policy_handle.take() {
             h.join().expect("gateway policy thread panicked");
         }
@@ -584,13 +653,53 @@ mod tests {
         let mut cfg = config();
         cfg.overload.tick = std::time::Duration::from_millis(1);
         let mut gw = Gateway::new(cfg);
+        let rx = gw.subscribe(16);
         for _ in 0..4 {
             gw.push(&vec![Cf32::new(0.0, 0.0); 4096]);
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            // Block on the subscription instead of sleep-polling: silence
+            // never yields a packet, so each bounded wait just gives the
+            // policy thread a few ticks of observed idleness.
+            assert!(rx
+                .recv_timeout(std::time::Duration::from_millis(5))
+                .is_err());
         }
         let (_, snap) = gw.finish();
         assert_eq!(snap.degrade_events, 0);
         assert_eq!(snap.chunks_shed, 0);
         assert!(snap.workers.iter().all(|w| w.effort_rung == 0));
+    }
+
+    #[test]
+    fn fully_shed_gateway_stays_live_and_finishes() {
+        // Every worker forced to the shed rung: chunks are discarded and
+        // counted, watermarks keep advancing, and `finish` must return
+        // instead of stalling (or panicking in the sink horizon).
+        let mut cfg = config();
+        cfg.overload.policy = OverloadPolicy::DropOldest; // no controller to un-shed
+        let mut gw = Gateway::new(cfg);
+        for c in &gw.controls {
+            c.set_rung(SHED_RUNG);
+        }
+        for _ in 0..8 {
+            gw.push(&vec![Cf32::new(0.0, 0.0); 4096]);
+        }
+        let (packets, snap) = gw.finish();
+        assert!(packets.is_empty());
+        assert!(snap.chunks_shed > 0, "shed rung must have engaged");
+    }
+
+    #[test]
+    fn finish_is_not_quantised_to_the_policy_tick() {
+        // A huge policy tick used to pin shutdown for a full sleep; the
+        // condvar gate wakes the policy thread immediately.
+        let mut cfg = config();
+        cfg.overload.tick = std::time::Duration::from_secs(60);
+        let gw = Gateway::new(cfg);
+        let t0 = Instant::now();
+        let (_, _) = gw.finish();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "finish must interrupt the policy tick wait"
+        );
     }
 }

@@ -12,7 +12,9 @@
 //! at report time, so the released stream is globally non-decreasing in
 //! start time — time-ordered without ever stalling a worker.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
 use cic::DecodedPacket;
@@ -47,8 +49,12 @@ struct SinkInner {
     pending: Vec<GatewayPacket>,
     /// Recently released packets, kept for duplicate suppression.
     recent: Vec<Released>,
-    /// Released, time-ordered, awaiting collection.
-    released: Vec<GatewayPacket>,
+    /// Released, time-ordered, awaiting collection (the poll path, and
+    /// the overflow backlog while a subscriber's channel is full).
+    released: VecDeque<GatewayPacket>,
+    /// Live subscription, if any: released packets are forwarded here in
+    /// release order instead of waiting to be polled.
+    subscriber: Option<SyncSender<GatewayPacket>>,
 }
 
 /// The merge point of all worker outputs. See the module docs.
@@ -75,7 +81,8 @@ impl PacketSink {
                 watermarks: vec![0; n_workers],
                 pending: Vec::new(),
                 recent: Vec::new(),
-                released: Vec::new(),
+                released: VecDeque::new(),
+                subscriber: None,
             }),
             stats,
             chip_wideband: chip_wideband as u64,
@@ -119,13 +126,71 @@ impl PacketSink {
     }
 
     /// Take every packet released since the last call (time-ordered).
+    /// With a live subscription this returns only the overflow backlog —
+    /// packets that did not fit in the subscriber's bounded channel.
     pub fn take_released(&self) -> Vec<GatewayPacket> {
         std::mem::take(&mut self.inner.lock().unwrap().released)
+            .into_iter()
+            .collect()
+    }
+
+    /// Attach the single bounded subscription: released packets are
+    /// forwarded into the returned channel in release order, starting
+    /// with anything already waiting in the poll buffer. The sink never
+    /// blocks on a slow consumer — packets that do not fit stay in the
+    /// poll buffer and are flushed (in order, ahead of newer releases)
+    /// on later drains or collected by [`PacketSink::take_released`].
+    ///
+    /// # Panics
+    /// If a subscription is already attached.
+    pub fn subscribe(&self, capacity: usize) -> Receiver<GatewayPacket> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        let mut inner = self.inner.lock().unwrap();
+        assert!(
+            inner.subscriber.is_none(),
+            "packet sink already has a subscriber"
+        );
+        inner.subscriber = Some(tx);
+        self.forward(&mut inner);
+        rx
+    }
+
+    /// Push the release backlog into the subscriber's channel, in order,
+    /// until the backlog empties or the channel fills. A disconnected
+    /// receiver detaches the subscription and reverts to the poll path.
+    fn forward(&self, inner: &mut SinkInner) {
+        while inner.subscriber.is_some() {
+            let Some(p) = inner.released.pop_front() else {
+                return;
+            };
+            match inner
+                .subscriber
+                .as_ref()
+                .expect("checked above")
+                .try_send(p)
+            {
+                Ok(()) => {}
+                Err(TrySendError::Full(p)) => {
+                    inner.released.push_front(p);
+                    return;
+                }
+                Err(TrySendError::Disconnected(p)) => {
+                    inner.released.push_front(p);
+                    inner.subscriber = None;
+                    return;
+                }
+            }
+        }
     }
 
     fn drain(&self, inner: &mut SinkInner) {
-        let horizon = *inner.watermarks.iter().min().expect("at least one worker");
+        // A sink whose every worker has been detached (shed gateways can
+        // reach zero attached workers) has nothing left to wait for: the
+        // horizon opens fully and already-reported packets keep flowing
+        // instead of panicking on the empty minimum.
+        let horizon = inner.watermarks.iter().min().copied().unwrap_or(u64::MAX);
         if inner.pending.iter().all(|p| p.start_wideband > horizon) {
+            self.forward(inner);
             return;
         }
         let mut due: Vec<GatewayPacket> = Vec::new();
@@ -170,6 +235,7 @@ impl PacketSink {
         // `recent` small without ever forgetting a live candidate.
         let prune = horizon.saturating_sub(4 * self.symbol_len(self.max_sf));
         inner.recent.retain(|r| r.start_wideband >= prune);
+        self.forward(inner);
     }
 
     /// Two reports describe the same transmission when they sit on the
@@ -327,6 +393,71 @@ mod tests {
         assert_eq!(got[0].start_wideband, 6_000);
         assert_eq!(got[0].packet.sic_pass, 1);
         assert_eq!(s.snapshot().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn sink_with_no_workers_releases_instead_of_panicking() {
+        // Regression: `drain` computed the horizon with
+        // `watermarks.iter().min().expect("at least one worker")`, so a
+        // sink whose attached-worker set is empty — the fully-shed /
+        // fully-detached configuration — panicked on the first report
+        // instead of releasing. With nobody left to wait for, the horizon
+        // must open fully and reported packets flow straight through.
+        let sink = PacketSink::new(0, 16, 9, stats());
+        sink.report(vec![pkt(0, 7, 9_000, b"b"), pkt(0, 7, 1_000, b"a")]);
+        let got = sink.take_released();
+        let starts: Vec<u64> = got.iter().map(|p| p.start_wideband).collect();
+        assert_eq!(starts, vec![1_000, 9_000]);
+    }
+
+    #[test]
+    fn subscriber_receives_releases_in_order() {
+        let sink = PacketSink::new(1, 16, 9, stats());
+        // A packet already released before the subscription attaches is
+        // handed over first.
+        sink.set_watermark(0, 100_000);
+        sink.report(vec![pkt(0, 7, 10_000, b"a")]);
+        let rx = sink.subscribe(8);
+        sink.report(vec![pkt(0, 7, 20_000, b"b"), pkt(0, 7, 30_000, b"c")]);
+        let starts: Vec<u64> = rx.try_iter().map(|p| p.start_wideband).collect();
+        assert_eq!(starts, vec![10_000, 20_000, 30_000]);
+        assert!(sink.take_released().is_empty(), "nothing left to poll");
+    }
+
+    #[test]
+    fn full_subscriber_channel_overflows_to_backlog_in_order() {
+        let sink = PacketSink::new(1, 16, 9, stats());
+        let rx = sink.subscribe(2);
+        sink.set_watermark(0, 1_000_000);
+        sink.report(vec![
+            pkt(0, 7, 10_000, b"a"),
+            pkt(0, 7, 20_000, b"b"),
+            pkt(0, 7, 30_000, b"c"),
+            pkt(0, 7, 40_000, b"d"),
+        ]);
+        // Two fit the channel, two wait in the backlog.
+        assert_eq!(rx.try_recv().unwrap().start_wideband, 10_000);
+        assert_eq!(rx.try_recv().unwrap().start_wideband, 20_000);
+        assert!(rx.try_recv().is_err());
+        // The next drain flushes the backlog *before* newer releases, so
+        // the subscriber's stream order survives the overflow.
+        sink.report(vec![pkt(0, 7, 50_000, b"e")]);
+        let starts: Vec<u64> = rx.try_iter().map(|p| p.start_wideband).collect();
+        assert_eq!(starts, vec![30_000, 40_000]);
+        sink.report(vec![pkt(0, 7, 60_000, b"f")]);
+        let starts: Vec<u64> = rx.try_iter().map(|p| p.start_wideband).collect();
+        assert_eq!(starts, vec![50_000, 60_000]);
+    }
+
+    #[test]
+    fn dropped_subscriber_reverts_to_polling() {
+        let sink = PacketSink::new(1, 16, 9, stats());
+        let rx = sink.subscribe(4);
+        drop(rx);
+        sink.set_watermark(0, 100_000);
+        sink.report(vec![pkt(0, 7, 1_000, b"a")]);
+        let got = sink.take_released();
+        assert_eq!(got.len(), 1, "poll path must recover the packet");
     }
 
     #[test]

@@ -55,10 +55,16 @@ impl LatencyHistogram {
         }
     }
 
-    /// Record one duration.
+    /// Record one duration. A zero-length sample — coarse clocks can
+    /// return equal `Instant`s — lands in bucket 0 and adds nothing to
+    /// the total, instead of panicking in `ilog2` (or being silently
+    /// inflated to 1 ns).
     pub fn record(&self, d: Duration) {
-        let ns = (d.as_nanos() as u64).max(1);
-        let bucket = (ns.ilog2() as usize).min(HISTOGRAM_BUCKETS - 1);
+        let ns = d.as_nanos() as u64;
+        let bucket = match ns.checked_ilog2() {
+            Some(b) => (b as usize).min(HISTOGRAM_BUCKETS - 1),
+            None => 0,
+        };
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -279,6 +285,22 @@ pub struct GatewayStats {
     pub samples_in: AtomicU64,
     /// Calls to [`crate::Gateway::push`].
     pub chunks_in: AtomicU64,
+    /// IQ frames accepted from a network/file/sim ingest source
+    /// (maintained by `lora-ingest`'s driver; 0 for in-process `push`).
+    pub frames_in: AtomicU64,
+    /// Ingest frames lost in transit (sequence-number jumps observed by
+    /// the ingest driver — the frames themselves never arrived).
+    pub frames_dropped: AtomicU64,
+    /// Ingest frames that arrived but were discarded: truncated or
+    /// corrupt datagrams, duplicates, and frames behind positions
+    /// already written off.
+    pub frames_rejected: AtomicU64,
+    /// Zero samples inserted by the ingest driver to bridge bounded
+    /// sequence gaps, keeping the wideband time base monotone.
+    pub samples_gapped: AtomicU64,
+    /// Transport reconnects (socket rebinds / TCP re-establishments)
+    /// performed by an ingest source.
+    pub reconnects: AtomicU64,
     /// Packets released by the time-ordered sink.
     pub packets_released: AtomicU64,
     /// Packets the sink suppressed as duplicates.
@@ -299,6 +321,11 @@ impl GatewayStats {
         Self {
             samples_in: AtomicU64::new(0),
             chunks_in: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
+            frames_rejected: AtomicU64::new(0),
+            samples_gapped: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
             packets_released: AtomicU64::new(0),
             duplicates_suppressed: AtomicU64::new(0),
             channelize: LatencyHistogram::new(),
@@ -329,6 +356,11 @@ impl GatewayStats {
         GatewaySnapshot {
             samples_in: self.samples_in.load(Ordering::Relaxed),
             chunks_in: self.chunks_in.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            samples_gapped: self.samples_gapped.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
             packets_released: self.packets_released.load(Ordering::Relaxed),
             duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
             packets_decoded: workers.iter().map(|w| w.packets_decoded).sum(),
@@ -362,6 +394,16 @@ pub struct GatewaySnapshot {
     pub samples_in: u64,
     /// Push calls accepted.
     pub chunks_in: u64,
+    /// IQ frames accepted from an ingest source (0 without `lora-ingest`).
+    pub frames_in: u64,
+    /// Ingest frames lost in transit (observed sequence jumps).
+    pub frames_dropped: u64,
+    /// Ingest frames that arrived but were discarded (corrupt/stale).
+    pub frames_rejected: u64,
+    /// Zero samples inserted to bridge bounded ingest sequence gaps.
+    pub samples_gapped: u64,
+    /// Transport reconnects performed by an ingest source.
+    pub reconnects: u64,
     /// Packets released by the sink.
     pub packets_released: u64,
     /// Duplicates the sink suppressed.
@@ -421,6 +463,28 @@ mod tests {
         assert_eq!(s.buckets[10], 1);
         assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
         assert_eq!(s.max_bucket_ns(), 1 << (HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn zero_duration_sample_lands_in_bucket_zero() {
+        // Regression: `record` computed `ns.ilog2()` after clamping the
+        // sample to at least 1 ns — a zero-length sample (coarse clocks
+        // return equal `Instant`s, so `elapsed()` can be exactly zero)
+        // was silently inflated to 1 ns in `total_ns`, and without the
+        // clamp `ilog2()` panics outright on zero. A zero sample must
+        // count in bucket 0 and contribute nothing to the total.
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.total_ns, 0, "zero sample must not inflate the total");
+        assert_eq!(s.mean_ns(), 0.0);
+        // And mixing with real samples keeps the accounting exact.
+        h.record(Duration::from_nanos(8));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 8);
     }
 
     #[test]
@@ -518,6 +582,22 @@ mod tests {
         assert_eq!(s.rung_engagements[rung_slot(1)], 1);
         assert_eq!(s.rung_engagements[rung_slot(SHED_RUNG)], 1);
         assert_eq!(s.rung_engagements[rung_slot(0)], 0);
+    }
+
+    #[test]
+    fn snapshot_carries_ingest_counters() {
+        let stats = GatewayStats::new(&[(0, 7)]);
+        stats.frames_in.fetch_add(120, Ordering::Relaxed);
+        stats.frames_dropped.fetch_add(3, Ordering::Relaxed);
+        stats.frames_rejected.fetch_add(2, Ordering::Relaxed);
+        stats.samples_gapped.fetch_add(12_288, Ordering::Relaxed);
+        stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        let s = stats.snapshot();
+        assert_eq!(s.frames_in, 120);
+        assert_eq!(s.frames_dropped, 3);
+        assert_eq!(s.frames_rejected, 2);
+        assert_eq!(s.samples_gapped, 12_288);
+        assert_eq!(s.reconnects, 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! exactly once, time-ordered, by the gateway, and the telemetry must be
 //! consistent with the sink.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cic::{CicConfig, CicReceiver};
 use lora_channel::wideband::{
@@ -269,23 +269,21 @@ fn idle_workers_release_decoded_packets_without_more_samples() {
     gw.push(&samples);
 
     // No further pushes and no finish(): only the idle watermark can
-    // release the packet now.
-    let deadline = Instant::now() + Duration::from_secs(20);
-    let mut got = Vec::new();
-    while got.is_empty() && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(20));
-        got.extend(gw.poll_packets());
-    }
-    assert_eq!(
-        got.len(),
-        1,
-        "idle watermark must release the decoded packet while the gateway is live"
-    );
-    assert_eq!(got[0].channel, 0);
-    assert_eq!(got[0].sf, 7);
-    assert_eq!(got[0].packet.payload.as_deref(), Some(&payload[..]));
+    // release the packet now. The subscription blocks on the release
+    // instead of sleep-polling `poll_packets`.
+    let rx = gw.subscribe(8);
+    let got = rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("idle watermark must release the decoded packet while the gateway is live");
+    assert_eq!(got.channel, 0);
+    assert_eq!(got.sf, 7);
+    assert_eq!(got.packet.payload.as_deref(), Some(&payload[..]));
     let (rest, _) = gw.finish();
     assert!(rest.is_empty(), "the packet must not be emitted twice");
+    assert!(
+        rx.try_recv().is_err(),
+        "the packet must not be emitted twice"
+    );
 }
 
 #[test]
@@ -553,14 +551,16 @@ fn run_overloaded(
     pace: Duration,
 ) -> (usize, lora_gateway::GatewaySnapshot) {
     let mut gw = Gateway::new(gateway_config(plan, 1, overload));
+    let rx = gw.subscribe(4096);
     let mut ok = 0usize;
     for chunk in samples.chunks(32_768) {
         gw.push(chunk);
         std::thread::sleep(pace);
-        ok += gw.poll_packets().iter().filter(|p| p.packet.ok()).count();
+        ok += rx.try_iter().filter(|p| p.packet.ok()).count();
     }
     let (rest, snap) = gw.finish();
     ok += rest.iter().filter(|p| p.packet.ok()).count();
+    ok += rx.try_iter().filter(|p| p.packet.ok()).count();
     (ok, snap)
 }
 

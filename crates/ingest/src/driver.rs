@@ -1,0 +1,211 @@
+//! The ingest driver: a thread that owns the [`Gateway`], pulls events
+//! from an [`IqSource`], repairs the sample stream (sequence gaps,
+//! duplicates, overlaps), and exposes the decoded packets through a
+//! non-blocking [`PacketSubscription`].
+//!
+//! ## Stream repair
+//!
+//! The gateway's time base is "samples pushed so far" — the watermark
+//! release logic in `lora-gateway` depends on it being monotone. The
+//! driver therefore never lets transport faults bend time:
+//!
+//! * **loss** (sequence jumps forward): the missing span, measured in
+//!   samples from `first_sample`, is zero-filled up to
+//!   [`IngestConfig::max_zero_fill`] and counted in `samples_gapped`;
+//!   the skipped frames are counted in `frames_dropped`. A gap larger
+//!   than the fill cap is truncated — the gateway time base slips
+//!   relative to the sender's, which is harmless because all decoding
+//!   state derives from gateway time.
+//! * **duplicates / reorder** (sequence or position steps backward):
+//!   fully stale frames are rejected (`frames_rejected`); a frame
+//!   partially overlapping samples already pushed has the overlap
+//!   trimmed off its head.
+//! * **corrupt frames**: counted in `frames_rejected`, payload ignored.
+//! * **reconnects**: counted in `reconnects`; sample accounting rides on
+//!   `first_sample`, so a sender that kept counting through the outage
+//!   produces an ordinary gap.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lora_dsp::Cf32;
+use lora_gateway::{Gateway, GatewayPacket, GatewaySnapshot, GatewayStats};
+
+use crate::source::{IqEvent, IqSource};
+
+/// Driver tuning.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Bound of the packet subscription channel; packets beyond it wait
+    /// in the sink backlog (never lost, possibly late).
+    pub subscription_capacity: usize,
+    /// Largest gap (in samples) repaired by zero-fill; bigger gaps slip
+    /// the time base instead of stalling ingest on gigabytes of zeros.
+    pub max_zero_fill: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            subscription_capacity: 1024,
+            max_zero_fill: 1 << 22,
+        }
+    }
+}
+
+/// Handle to a running ingest driver: a non-blocking view of the decoded
+/// packet stream, live telemetry, and the final drain.
+pub struct PacketSubscription {
+    rx: Receiver<GatewayPacket>,
+    stats: Arc<GatewayStats>,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<(Vec<GatewayPacket>, GatewaySnapshot)>,
+}
+
+impl PacketSubscription {
+    /// The next decoded packet if one is already waiting.
+    pub fn try_next(&self) -> Option<GatewayPacket> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block up to `timeout` for the next decoded packet.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<GatewayPacket> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Live telemetry snapshot (gateway + ingest counters).
+    pub fn stats(&self) -> GatewaySnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Ask the driver to shut down at the next source event; use
+    /// [`PacketSubscription::join`] to collect the drain.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Wait for the driver to finish (end of stream or [`stop`]): drains
+    /// the channelizer tail through `Gateway::finish` and returns every
+    /// not-yet-consumed packet — subscription channel first, then the
+    /// final drain, preserving release order — plus the final snapshot.
+    ///
+    /// [`stop`]: PacketSubscription::stop
+    pub fn join(self) -> (Vec<GatewayPacket>, GatewaySnapshot) {
+        let (tail, snapshot) = self.handle.join().expect("ingest driver panicked");
+        let mut packets: Vec<GatewayPacket> = self.rx.try_iter().collect();
+        packets.extend(tail);
+        (packets, snapshot)
+    }
+}
+
+/// Spawns the driver thread. See the module docs for the fault model.
+pub struct IngestDriver;
+
+impl IngestDriver {
+    /// Take ownership of `gateway`, feed it from `source` on a dedicated
+    /// thread, and return the subscription handle.
+    pub fn spawn<S: IqSource + 'static>(
+        gateway: Gateway,
+        source: S,
+        cfg: IngestConfig,
+    ) -> PacketSubscription {
+        let rx = gateway.subscribe(cfg.subscription_capacity);
+        let stats = gateway.stats();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stats = stats.clone();
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("gw-ingest".into())
+            .spawn(move || drive(gateway, source, cfg, thread_stats, thread_stop))
+            .expect("spawn ingest driver thread");
+        PacketSubscription {
+            rx,
+            stats,
+            stop,
+            handle,
+        }
+    }
+}
+
+/// Zero-fill in bounded slabs so a multi-megasample gap does not become
+/// one giant allocation.
+fn push_zeros(gw: &mut Gateway, n: u64) {
+    const SLAB: u64 = 1 << 16;
+    let zeros = vec![Cf32::new(0.0, 0.0); SLAB.min(n) as usize];
+    let mut left = n;
+    while left > 0 {
+        let take = SLAB.min(left) as usize;
+        gw.push(&zeros[..take]);
+        left -= take as u64;
+    }
+}
+
+fn drive(
+    mut gw: Gateway,
+    mut source: impl IqSource,
+    cfg: IngestConfig,
+    stats: Arc<GatewayStats>,
+    stop: Arc<AtomicBool>,
+) -> (Vec<GatewayPacket>, GatewaySnapshot) {
+    // Next expected sequence number / stream position, in the *sender's*
+    // coordinates. `None` until the first frame anchors them.
+    let mut expected_seq: Option<u64> = None;
+    let mut expected_pos: Option<u64> = None;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match source.next_event() {
+            IqEvent::Frame(f) => {
+                stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                if let Some(exp) = expected_seq {
+                    if f.seq < exp {
+                        // A duplicate or late reordering of a frame whose
+                        // span was already resolved (delivered or
+                        // zero-filled): replaying it would bend time.
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if f.seq > exp {
+                        stats
+                            .frames_dropped
+                            .fetch_add(f.seq - exp, Ordering::Relaxed);
+                    }
+                }
+                expected_seq = Some(f.seq + 1);
+                let len = f.samples.len() as u64;
+                let frame_end = f.first_sample + len;
+                let exp = expected_pos.unwrap_or(f.first_sample);
+                if frame_end <= exp {
+                    // Entirely behind the stream head (seq said "new" but
+                    // the samples are old — a sender restart, say).
+                    stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if f.first_sample > exp {
+                    let gap = f.first_sample - exp;
+                    let fill = gap.min(cfg.max_zero_fill);
+                    push_zeros(&mut gw, fill);
+                    stats.samples_gapped.fetch_add(fill, Ordering::Relaxed);
+                }
+                // Overlap with already-pushed samples is trimmed off the
+                // head; `skip == 0` in the common contiguous case.
+                let skip = exp.saturating_sub(f.first_sample) as usize;
+                gw.push(&f.samples[skip..]);
+                expected_pos = Some(frame_end);
+            }
+            IqEvent::Idle => {}
+            IqEvent::Reconnected => {
+                stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            IqEvent::Corrupt(_) => {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            IqEvent::End => break,
+        }
+    }
+    gw.finish()
+}

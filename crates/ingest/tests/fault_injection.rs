@@ -1,0 +1,166 @@
+//! Driver-level fault injection through a scripted [`IqSource`]: every
+//! transport pathology the wire can produce, with exact counter
+//! accounting asserted against `GatewaySnapshot`.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use cic::CicConfig;
+use lora_dsp::{Cf32, ChannelizerConfig};
+use lora_gateway::{Gateway, GatewayConfig, OverloadConfig};
+use lora_ingest::{FrameError, IngestConfig, IngestDriver, IqEvent, IqFrame, IqSource};
+use lora_phy::params::CodeRate;
+
+fn gateway() -> Gateway {
+    Gateway::new(GatewayConfig {
+        channelizer: ChannelizerConfig::uniform(2, 250e3, 500e3, 1e6, 4),
+        oversampling: 4,
+        sfs: vec![7],
+        code_rate: CodeRate::Cr45,
+        payload_len: 16,
+        cic: CicConfig::default(),
+        queue_capacity: 64,
+        overload: OverloadConfig {
+            idle_timeout: Duration::from_secs(600),
+            ..OverloadConfig::drop_oldest()
+        },
+    })
+}
+
+/// Replays a fixed event script, then reports end of stream forever.
+struct ScriptedSource {
+    events: VecDeque<IqEvent>,
+}
+
+impl ScriptedSource {
+    fn new(events: Vec<IqEvent>) -> Self {
+        Self {
+            events: events.into(),
+        }
+    }
+}
+
+impl IqSource for ScriptedSource {
+    fn next_event(&mut self) -> IqEvent {
+        self.events.pop_front().unwrap_or(IqEvent::End)
+    }
+}
+
+fn frame(seq: u64, first_sample: u64, n: usize) -> IqEvent {
+    IqEvent::Frame(IqFrame {
+        seq,
+        first_sample,
+        samples: vec![Cf32::new(0.0, 0.0); n],
+    })
+}
+
+#[test]
+fn every_fault_is_counted_exactly() {
+    let script = vec![
+        frame(0, 0, 1000),
+        frame(1, 1000, 1000),
+        // Duplicate datagram (same seq, same span): rejected outright.
+        frame(1, 1000, 1000),
+        IqEvent::Idle,
+        // seq 2 lost: one frame dropped, its 500-sample span zero-filled.
+        frame(3, 2500, 1000),
+        // Late reordered arrival of the lost frame: its seq is already
+        // behind the head, so it cannot be replayed.
+        frame(2, 2000, 500),
+        // A disconnect/reconnect cycle somewhere in between.
+        IqEvent::Reconnected,
+        // Partial overlap: 500 of these samples were already resolved,
+        // only the head is trimmed, the remaining 500 are pushed.
+        frame(4, 3000, 1000),
+        // Corrupt bytes on the wire.
+        IqEvent::Corrupt(FrameError::TooShort(3)),
+        IqEvent::End,
+    ];
+    let sub = IngestDriver::spawn(
+        gateway(),
+        ScriptedSource::new(script),
+        IngestConfig::default(),
+    );
+    let (_, snap) = sub.join();
+
+    assert_eq!(snap.frames_in, 6, "every Frame event is counted");
+    assert_eq!(snap.frames_dropped, 1, "the seq-2 hole");
+    // The duplicate, the late reorder, and the corrupt event.
+    assert_eq!(snap.frames_rejected, 3);
+    assert_eq!(snap.samples_gapped, 500, "the zero-filled span");
+    assert_eq!(snap.reconnects, 1);
+    // 1000 + 1000 + 500 zeros + 1000 + trimmed 500 = 4000 samples, and
+    // the gateway's time base is exactly the sender's: monotone, no
+    // double-counted overlap.
+    assert_eq!(snap.samples_in, 4000);
+}
+
+#[test]
+fn oversized_gap_is_zero_filled_only_up_to_the_cap() {
+    let script = vec![
+        frame(0, 0, 100),
+        // A ludicrous gap (sender restarted its sample clock far ahead):
+        // filling it literally would stall ingest for gigabytes.
+        frame(1, 1_000_000, 100),
+        // The stream continues contiguously after the jump.
+        frame(2, 1_000_100, 100),
+        IqEvent::End,
+    ];
+    let cfg = IngestConfig {
+        max_zero_fill: 2048,
+        ..IngestConfig::default()
+    };
+    let sub = IngestDriver::spawn(gateway(), ScriptedSource::new(script), cfg);
+    let (_, snap) = sub.join();
+
+    assert_eq!(snap.frames_in, 3);
+    assert_eq!(snap.frames_dropped, 0, "no seq holes, just a time jump");
+    assert_eq!(snap.samples_gapped, 2048, "fill is capped, not literal");
+    // 100 + 2048 + 100 + 100: the time base slipped past the rest of the
+    // gap instead of manufacturing a megasample of silence.
+    assert_eq!(snap.samples_in, 2348);
+}
+
+#[test]
+fn stale_stream_restart_is_rejected_not_replayed() {
+    let script = vec![
+        frame(0, 0, 1000),
+        frame(1, 1000, 1000),
+        // A sender restart re-announces old positions under fresh seq:
+        // time must not rewind, so these are rejected wholesale.
+        frame(2, 0, 500),
+        frame(3, 500, 500),
+        // ...until the restart catches up with the head again.
+        frame(4, 2000, 1000),
+        IqEvent::End,
+    ];
+    let sub = IngestDriver::spawn(
+        gateway(),
+        ScriptedSource::new(script),
+        IngestConfig::default(),
+    );
+    let (_, snap) = sub.join();
+
+    assert_eq!(snap.frames_in, 5);
+    assert_eq!(snap.frames_rejected, 2);
+    assert_eq!(snap.samples_gapped, 0);
+    assert_eq!(snap.samples_in, 3000);
+}
+
+#[test]
+fn stop_interrupts_a_live_source() {
+    // An endless source: only PacketSubscription::stop can end this.
+    struct Endless;
+    impl IqSource for Endless {
+        fn next_event(&mut self) -> IqEvent {
+            std::thread::sleep(Duration::from_millis(1));
+            IqEvent::Idle
+        }
+    }
+    let sub = IngestDriver::spawn(gateway(), Endless, IngestConfig::default());
+    assert!(sub.try_next().is_none());
+    sub.stop();
+    let (packets, snap) = sub.join();
+    assert!(packets.is_empty());
+    assert_eq!(snap.samples_in, 0);
+}
