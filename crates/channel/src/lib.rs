@@ -13,7 +13,10 @@
 //!   wideband rate, shifted onto their channel carriers and summed, the
 //!   stimulus for the `lora-gateway` runtime;
 //! * [`pace`] — chunked, optionally wall-clock-paced replay of a capture,
-//!   the adapter behind `lora-ingest`'s simulated-SDR source.
+//!   the adapter behind `lora-ingest`'s simulated-SDR source;
+//! * [`stream`] — lazy streamed scenario generation: city-scale Poisson
+//!   traffic synthesised chunk-by-chunk with bounded memory, the stimulus
+//!   for capacity campaigns far past the paper's 20-node deployments.
 
 pub mod awgn;
 pub mod deployment;
@@ -21,13 +24,18 @@ pub mod mix;
 pub mod pace;
 pub mod pathloss;
 pub mod rng;
+pub mod stream;
 pub mod traffic;
 pub mod wideband;
 
 pub use awgn::{add_noise, add_unit_noise, amplitude_for_snr, snr_db_for_amplitude};
 pub use deployment::{Deployment, DeploymentKind, Node, PAPER_NODE_COUNT};
 pub use mix::{superpose, superpose_drifting_into, superpose_into, DriftingEmission, Emission};
-pub use pace::PacedReplay;
+pub use pace::{PacedReplay, Pacer};
 pub use pathloss::PathLossModel;
+pub use stream::{
+    derive_node_profile, noise_seed, FrameSchedule, NodeProfile, StreamConfig, StreamedEmission,
+    StreamedScenario,
+};
 pub use traffic::{poisson_schedule, Arrival};
 pub use wideband::{BandPlan, TrafficConfig, WidebandCapture, WidebandPacket, WidebandTruth};

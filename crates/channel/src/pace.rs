@@ -11,6 +11,60 @@ use std::time::{Duration, Instant};
 
 use lora_dsp::Cf32;
 
+/// Deadline-based wall-clock pacing against a sample stream's time base.
+///
+/// `Pacer` holds the pacing half of [`PacedReplay`] on its own so that
+/// lazily *generated* streams ([`crate::stream::StreamedScenario`]) can be
+/// paced too: call [`Pacer::wait_until_due`] with the stream position a
+/// chunk ends at, and it sleeps until that sample's scheduled arrival
+/// instant. Deadlines are scheduled against the pacer's start (the first
+/// call), not the previous chunk, so sleep jitter does not accumulate
+/// drift.
+#[derive(Debug)]
+pub struct Pacer {
+    /// Seconds of stream time per sample, already divided by the speed
+    /// factor; `None` disables pacing.
+    secs_per_sample: Option<f64>,
+    /// Set on the first `wait_until_due` call.
+    started: Option<Instant>,
+}
+
+impl Pacer {
+    /// Pace a stream of `sample_rate_hz` at `speed ×` real time
+    /// (`Some(1.0)` = real time); `None` disables pacing entirely.
+    pub fn new(sample_rate_hz: f64, speed: Option<f64>) -> Self {
+        let secs_per_sample = speed.map(|k| {
+            assert!(
+                k > 0.0 && sample_rate_hz > 0.0,
+                "pacing needs positive speed and sample rate"
+            );
+            1.0 / (sample_rate_hz * k)
+        });
+        Self {
+            secs_per_sample,
+            started: None,
+        }
+    }
+
+    /// Whether pacing is active.
+    pub fn enabled(&self) -> bool {
+        self.secs_per_sample.is_some()
+    }
+
+    /// Block until sample `position` is due (a chunk is due once its
+    /// *last* sample has "arrived"). No-op when pacing is disabled.
+    pub fn wait_until_due(&mut self, position: usize) {
+        let Some(sps) = self.secs_per_sample else {
+            return;
+        };
+        let t0 = *self.started.get_or_insert_with(Instant::now);
+        let due = t0 + Duration::from_secs_f64(position as f64 * sps);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
 /// Chunked, optionally wall-clock-paced iteration over a sample buffer.
 ///
 /// With `speed = None` chunks are handed out as fast as the caller asks
@@ -26,12 +80,7 @@ pub struct PacedReplay {
     chunk: usize,
     /// Samples handed out so far.
     position: usize,
-    /// Seconds of stream time per sample, already divided by the speed
-    /// factor; `None` disables pacing.
-    secs_per_sample: Option<f64>,
-    /// Set on the first `next_chunk` call; pacing deadlines are relative
-    /// to this instant.
-    started: Option<Instant>,
+    pacer: Pacer,
 }
 
 impl PacedReplay {
@@ -41,19 +90,11 @@ impl PacedReplay {
     /// pacing entirely.
     pub fn new(samples: Vec<Cf32>, chunk: usize, sample_rate_hz: f64, speed: Option<f64>) -> Self {
         assert!(chunk > 0, "chunk size must be positive");
-        let secs_per_sample = speed.map(|k| {
-            assert!(
-                k > 0.0 && sample_rate_hz > 0.0,
-                "pacing needs positive speed and sample rate"
-            );
-            1.0 / (sample_rate_hz * k)
-        });
         Self {
             samples,
             chunk,
             position: 0,
-            secs_per_sample,
-            started: None,
+            pacer: Pacer::new(sample_rate_hz, speed),
         }
     }
 
@@ -81,15 +122,7 @@ impl PacedReplay {
         }
         let start = self.position;
         let end = (start + self.chunk).min(self.samples.len());
-        if let Some(sps) = self.secs_per_sample {
-            let t0 = *self.started.get_or_insert_with(Instant::now);
-            // A chunk is due once its *last* sample has "arrived".
-            let due = t0 + Duration::from_secs_f64(end as f64 * sps);
-            let now = Instant::now();
-            if let Some(wait) = due.checked_duration_since(now) {
-                std::thread::sleep(wait);
-            }
-        }
+        self.pacer.wait_until_due(end);
         self.position = end;
         Some(&self.samples[start..end])
     }
@@ -129,6 +162,27 @@ mod tests {
         let mut r = PacedReplay::new(ramp(4_000), 1_000, 1e6, Some(1.0));
         let t0 = Instant::now();
         while r.next_chunk().is_some() {}
+        assert!(t0.elapsed() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn pacer_disabled_never_sleeps() {
+        let mut p = Pacer::new(1.0, None);
+        assert!(!p.enabled());
+        let t0 = Instant::now();
+        p.wait_until_due(usize::MAX);
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn pacer_holds_stream_time() {
+        // 4_000 samples at 1 MHz × speed 1 is 4 ms of stream time.
+        let mut p = Pacer::new(1e6, Some(1.0));
+        assert!(p.enabled());
+        let t0 = Instant::now();
+        for end in [1_000usize, 2_000, 4_000] {
+            p.wait_until_due(end);
+        }
         assert!(t0.elapsed() >= Duration::from_millis(3));
     }
 

@@ -1,0 +1,191 @@
+//! Integration tests for the streamed scenario engine: the determinism,
+//! statistical and bounded-memory contracts the capacity campaign relies
+//! on (DESIGN.md §10).
+
+use lora_channel::stream::{FrameSchedule, StreamConfig, StreamedScenario};
+use lora_channel::{BandPlan, DeploymentKind};
+use lora_phy::params::CodeRate;
+
+fn plan() -> BandPlan {
+    BandPlan::uniform(2, 250e3, 500e3, 2, 2)
+}
+
+fn cfg(n_nodes: usize, aggregate_pps: f64, duration_s: f64, seed: u64) -> StreamConfig {
+    StreamConfig {
+        n_nodes,
+        deployment: DeploymentKind::D1IndoorLos,
+        sfs: vec![7, 9],
+        code_rate: CodeRate::Cr45,
+        payload_len: 8,
+        mean_interval_s: n_nodes as f64 / aggregate_pps,
+        duration_s,
+        seed,
+        noise: true,
+    }
+}
+
+/// One truth record: (node, start sample, payload hash, payload).
+type TruthRecord = (usize, usize, u64, Vec<u8>);
+
+/// Run a scenario to completion with the given chunk-size schedule
+/// (cycled), returning the concatenated stream and the truth log.
+fn run_with_schedule(
+    cfg: &StreamConfig,
+    schedule: &[usize],
+) -> (Vec<lora_dsp::Cf32>, Vec<TruthRecord>) {
+    let mut scenario = StreamedScenario::new(plan(), cfg.clone());
+    let mut samples = Vec::new();
+    let mut truth = Vec::new();
+    let mut k = 0usize;
+    while let Some(chunk) = scenario.next_chunk(schedule[k % schedule.len()]) {
+        samples.extend_from_slice(chunk);
+        k += 1;
+        for e in scenario.drain_truth() {
+            truth.push((
+                e.node,
+                e.packet.start_sample,
+                e.packet
+                    .payload
+                    .iter()
+                    .fold(0u64, |h, &b| h << 8 | b as u64),
+                e.packet.payload.clone(),
+            ));
+        }
+    }
+    (samples, truth)
+}
+
+/// Same seed must replay bit-identically no matter how the stream is cut
+/// into chunks: every random draw is attached to an arrival or a sample,
+/// never to a chunk boundary.
+#[test]
+fn replay_is_bit_identical_across_chunk_schedules() {
+    let cfg = cfg(64, 60.0, 0.4, 99);
+    let uniform = run_with_schedule(&cfg, &[1 << 13]);
+    // Ragged cuts, including a 1-sample chunk and chunks that split
+    // symbols and frames at awkward places.
+    let ragged = run_with_schedule(&cfg, &[977, 1, 4096, 333, 12289, 50]);
+    let tiny_uniform = run_with_schedule(&cfg, &[257]);
+
+    assert_eq!(uniform.1, ragged.1, "truth log depends on chunk schedule");
+    assert_eq!(uniform.1, tiny_uniform.1);
+    assert!(!uniform.1.is_empty(), "scenario generated no traffic");
+    assert_eq!(uniform.0.len(), ragged.0.len());
+    assert_eq!(uniform.0.len(), tiny_uniform.0.len());
+    for (i, (a, b)) in uniform.0.iter().zip(&ragged.0).enumerate() {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "sample {i} differs between uniform and ragged schedules: {a:?} vs {b:?}"
+        );
+    }
+    for (i, (a, b)) in uniform.0.iter().zip(&tiny_uniform.0).enumerate() {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "sample {i} differs between uniform and tiny schedules"
+        );
+    }
+}
+
+/// The aggregate arrival process must be Poisson at rate
+/// `n_nodes / mean_interval_s`: over 16 seeds the empirical rate has to
+/// land within a few standard errors of the configured one, and the
+/// per-node split must be near-uniform.
+#[test]
+fn empirical_rate_matches_configured_poisson_rate() {
+    let n_nodes = 40usize;
+    let aggregate_pps = 200.0;
+    let duration_s = 2.0;
+    let p = plan();
+    let expected_per_seed = aggregate_pps * duration_s;
+
+    let mut total = 0u64;
+    let mut per_node = vec![0u64; n_nodes];
+    let mut emissions = Vec::new();
+    for seed in 0..16u64 {
+        let mut sched = FrameSchedule::new(&p, cfg(n_nodes, aggregate_pps, duration_s, seed));
+        sched.emissions_until(usize::MAX, &mut emissions);
+        assert!(sched.exhausted());
+        total += emissions.len() as u64;
+        for e in emissions.drain(..) {
+            per_node[e.node] += 1;
+        }
+    }
+
+    // Sum of 16 Poisson(400) draws is Poisson(6400): sigma = 80, so a
+    // 5-sigma acceptance band is [6000, 6800] — tight enough to catch a
+    // wrong lambda (half/double rate is > 35 sigma out) and loose enough
+    // to essentially never flake.
+    let expected = 16.0 * expected_per_seed;
+    let sigma = expected.sqrt();
+    assert!(
+        (total as f64 - expected).abs() < 5.0 * sigma,
+        "aggregate arrivals {total} outside 5 sigma of {expected}"
+    );
+
+    // Each node is Poisson(expected/n_nodes = 160): every node transmits,
+    // and no node claims a grossly outsized share.
+    let per_node_mean = expected / n_nodes as f64;
+    for (node, &count) in per_node.iter().enumerate() {
+        assert!(count > 0, "node {node} never transmitted in 16 runs");
+        assert!(
+            (count as f64 - per_node_mean).abs() < 6.0 * per_node_mean.sqrt(),
+            "node {node} count {count} outside 6 sigma of {per_node_mean}"
+        );
+    }
+}
+
+/// Inter-arrival times must actually be exponential, not merely have the
+/// right mean: check the coefficient of variation (1 for an exponential,
+/// ~0 for a periodic schedule) over a long single-seed run.
+#[test]
+fn interarrivals_are_exponential_not_periodic() {
+    let p = plan();
+    let mut sched = FrameSchedule::new(&p, cfg(64, 400.0, 4.0, 7));
+    let mut emissions = Vec::new();
+    sched.emissions_until(usize::MAX, &mut emissions);
+    // Arrival order == emission order for the schedule's truth log; use
+    // the raw arrival spacing via sorted effective starts (deferral is
+    // rare at this load but sorting makes the test independent of it).
+    let mut starts: Vec<usize> = emissions.iter().map(|e| e.packet.start_sample).collect();
+    starts.sort_unstable();
+    let gaps: Vec<f64> = starts.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    assert!(gaps.len() > 500, "need a long run, got {} gaps", gaps.len());
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!(
+        (0.8..1.2).contains(&cv),
+        "inter-arrival coefficient of variation {cv} is not exponential-like"
+    );
+}
+
+/// Generator memory must be bounded by the *concurrency* of the traffic,
+/// not by node count or capture length: 100x the nodes at the same
+/// aggregate rate, or 8x the duration, may not blow up the high-water
+/// mark.
+#[test]
+fn peak_memory_independent_of_node_count_and_duration() {
+    let chunk = 1 << 13;
+    let run = |n_nodes: usize, duration_s: f64| -> usize {
+        let mut s = StreamedScenario::new(plan(), cfg(n_nodes, 50.0, duration_s, 3));
+        while s.next_chunk(chunk).is_some() {
+            s.drain_truth();
+        }
+        s.peak_resident_bytes()
+    };
+
+    let small = run(1_000, 0.3);
+    let many_nodes = run(100_000, 0.3);
+    let long_run = run(1_000, 2.4);
+    assert!(small > 0);
+    // Allow modest slack (heap/busy-map wiggle at identical aggregate
+    // load), but nothing resembling O(N) node state or O(T) buffering.
+    assert!(
+        many_nodes < small * 2,
+        "peak grew with node count: {small} -> {many_nodes} bytes"
+    );
+    assert!(
+        long_run < small * 2,
+        "peak grew with capture length: {small} -> {long_run} bytes"
+    );
+}

@@ -36,6 +36,6 @@ pub use load::{
 pub use queue::{Chunk, ChunkQueue, Pop};
 pub use sink::{GatewayPacket, PacketSink};
 pub use stats::{
-    rung_slot, GatewaySnapshot, GatewayStats, HistogramSnapshot, LatencyHistogram, WorkerStats,
-    RUNG_SLOTS,
+    rung_slot, GatewaySnapshot, GatewayStats, HistogramSnapshot, LatencyHistogram,
+    LatencyPercentiles, WorkerStats, RUNG_SLOTS,
 };

@@ -113,6 +113,63 @@ impl HistogramSnapshot {
             None => 0,
         }
     }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) in nanoseconds.
+    ///
+    /// The log2 buckets only bound each sample, so the estimate
+    /// interpolates linearly inside the bucket holding the quantile rank:
+    /// bucket 0 spans `[0, 2)` ns (zero-length samples land there too),
+    /// bucket `i >= 1` spans `[2^i, 2^{i+1})`. The error is at most the
+    /// width of one bucket — a factor of 2 — which is what a latency SLO
+    /// over microseconds-to-seconds needs. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based (nearest-rank definition).
+        let need = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= need {
+                let (lower, width) = if i == 0 {
+                    (0u64, 2u64)
+                } else {
+                    (1 << i, 1 << i)
+                };
+                let frac = (need - cum) as f64 / c as f64;
+                return lower + (width as f64 * frac).round() as u64;
+            }
+            cum += c;
+        }
+        self.max_bucket_ns()
+    }
+
+    /// The p50/p95/p99 summary the capacity campaign records per
+    /// operating point.
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            p50_ns: self.percentile_ns(0.50),
+            p95_ns: self.percentile_ns(0.95),
+            p99_ns: self.percentile_ns(0.99),
+        }
+    }
+}
+
+/// Tail-latency summary of a [`HistogramSnapshot`] (interpolated from the
+/// log2 buckets, see [`HistogramSnapshot::percentile_ns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyPercentiles {
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
 }
 
 /// Per-worker counters and load gauges. A worker owns one
@@ -353,6 +410,8 @@ impl GatewayStats {
     /// the gateway runs.
     pub fn snapshot(&self) -> GatewaySnapshot {
         let workers: Vec<WorkerSnapshot> = self.per_worker.iter().map(|w| w.snapshot()).collect();
+        let decode = self.decode.snapshot();
+        let decode_percentiles = decode.percentiles();
         GatewaySnapshot {
             samples_in: self.samples_in.load(Ordering::Relaxed),
             chunks_in: self.chunks_in.load(Ordering::Relaxed),
@@ -381,7 +440,8 @@ impl GatewayStats {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             channelize: self.channelize.snapshot(),
-            decode: self.decode.snapshot(),
+            decode,
+            decode_percentiles,
             workers,
         }
     }
@@ -441,6 +501,10 @@ pub struct GatewaySnapshot {
     pub channelize: HistogramSnapshot,
     /// Decode latency histogram.
     pub decode: HistogramSnapshot,
+    /// Decode tail latency (p50/p95/p99) interpolated from the histogram
+    /// at snapshot time — what capacity campaigns report per operating
+    /// point (EWMAs hide the tail).
+    pub decode_percentiles: LatencyPercentiles,
     /// Per-worker counters.
     pub workers: Vec<WorkerSnapshot>,
 }
@@ -504,6 +568,80 @@ mod tests {
             .mean_ns(),
             0.0
         );
+    }
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        // 90 samples in [16, 32) at exactly 16 ns, 9 at 1024 ns, 1 at
+        // 1 048 576 ns: ranks are fully known, so each percentile's bucket
+        // is too.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(16));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_nanos(1024));
+        }
+        h.record(Duration::from_nanos(1 << 20));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 rank = 50 of 90 in bucket 4 ([16, 32), width 16):
+        // 16 + 16 * 50/90 ≈ 25.
+        assert_eq!(
+            s.percentile_ns(0.50),
+            16 + ((16.0 * 50.0 / 90.0f64).round() as u64)
+        );
+        // p95 rank = 95 → 5th of the 9 samples in bucket 10 ([1024, 2048)).
+        assert_eq!(
+            s.percentile_ns(0.95),
+            1024 + ((1024.0 * 5.0 / 9.0f64).round() as u64)
+        );
+        // p99 rank = 99 → last of bucket 10.
+        assert_eq!(s.percentile_ns(0.99), 1024 + 1024);
+        // p100 rank = 100 → the lone tail sample in bucket 20.
+        let p100 = s.percentile_ns(1.0);
+        assert!((1 << 20..=1 << 21).contains(&p100), "{p100}");
+        let p = s.percentiles();
+        assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.p99_ns);
+        assert_eq!(p.p50_ns, s.percentile_ns(0.50));
+        assert_eq!(p.p99_ns, s.percentile_ns(0.99));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            total_ns: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.percentile_ns(0.5), 0);
+        assert_eq!(empty.percentiles(), LatencyPercentiles::default());
+
+        // A single sample: every percentile lands in its bucket.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = s.percentile_ns(q);
+            assert!((64..=128).contains(&v), "q={q} → {v}");
+        }
+        // Zero-duration samples resolve inside bucket 0's [0, 2) span.
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert!(h.snapshot().percentile_ns(0.5) <= 2);
+    }
+
+    #[test]
+    fn snapshot_carries_decode_percentiles() {
+        let stats = GatewayStats::new(&[(0, 7)]);
+        for _ in 0..100 {
+            stats.decode.record(Duration::from_micros(10)); // bucket 13
+        }
+        stats.decode.record(Duration::from_millis(50)); // tail
+        let s = stats.snapshot();
+        assert_eq!(s.decode_percentiles, s.decode.percentiles());
+        assert!(s.decode_percentiles.p50_ns >= 8_192 && s.decode_percentiles.p50_ns <= 16_384);
+        assert!(s.decode_percentiles.p99_ns <= s.decode.max_bucket_ns() * 2);
     }
 
     #[test]

@@ -141,6 +141,88 @@ impl Modulator {
         }
         debug_assert_eq!(out.len(), self.layout.frame_len(symbols.len()));
     }
+
+    /// Append samples `range` of the frame for `symbols` to `out` — the
+    /// same bits as slicing [`Modulator::frame_waveform_into`]'s output,
+    /// without ever materialising the whole frame. `scratch` is a
+    /// caller-owned symbol-sized arena reused across calls; the streamed
+    /// wideband mixer keeps one per generator, so synthesising a frame
+    /// chunk-by-chunk allocates nothing per packet beyond its symbol list.
+    ///
+    /// The frame is a concatenation of per-symbol waveforms, each starting
+    /// its own phase accumulation at zero, so any slice of it is a
+    /// concatenation of per-symbol slices: table-backed sections (preamble
+    /// up-chirps, the 2.25 closing down-chirps) are copied straight from
+    /// the [`crate::chirp::ChirpTable`], and sync/data symbols overlapping
+    /// the range are regenerated into `scratch` and sliced. Out-of-bounds
+    /// ranges are clamped to the frame.
+    pub fn frame_waveform_range_into(
+        &self,
+        symbols: &[usize],
+        range: std::ops::Range<usize>,
+        scratch: &mut Vec<Cf32>,
+        out: &mut Vec<Cf32>,
+    ) {
+        let p = self.params();
+        let sps = self.layout.samples_per_symbol;
+        let frame_len = self.layout.frame_len(symbols.len());
+        let lo = range.start.min(frame_len);
+        let hi = range.end.min(frame_len);
+        if lo >= hi {
+            return;
+        }
+        out.reserve(hi - lo);
+        // Walk the frame's sections in order; each iteration handles the
+        // overlap of one section with [lo, hi).
+        let mut start = 0usize;
+        let quarter = sps / 4;
+        let n_sections = PREAMBLE_UPCHIRPS + SYNC_SYMBOLS + 3 + symbols.len();
+        for section in 0..n_sections {
+            let (len, source): (usize, Source) = match section {
+                k if k < PREAMBLE_UPCHIRPS => (sps, Source::Up),
+                k if k < PREAMBLE_UPCHIRPS + SYNC_SYMBOLS => {
+                    let s = self.sync_x + 8 * (k - PREAMBLE_UPCHIRPS);
+                    (sps, Source::Symbol(s))
+                }
+                k if k < PREAMBLE_UPCHIRPS + SYNC_SYMBOLS + 2 => (sps, Source::Down),
+                k if k == PREAMBLE_UPCHIRPS + SYNC_SYMBOLS + 2 => (quarter, Source::Down),
+                k => (
+                    sps,
+                    Source::Symbol(symbols[k - PREAMBLE_UPCHIRPS - SYNC_SYMBOLS - 3]),
+                ),
+            };
+            let end = start + len;
+            if end > lo {
+                if start >= hi {
+                    break;
+                }
+                let a = lo.max(start) - start;
+                let b = hi.min(end) - start;
+                match source {
+                    Source::Up => out.extend_from_slice(&self.table.up()[a..b]),
+                    Source::Down => out.extend_from_slice(&self.table.down()[a..b]),
+                    Source::Symbol(s) => {
+                        scratch.clear();
+                        crate::chirp::symbol_waveform_append(p, s, scratch);
+                        out.extend_from_slice(&scratch[a..b]);
+                    }
+                }
+            }
+            start = end;
+        }
+        debug_assert!(start >= hi, "section walk must cover the range");
+    }
+}
+
+/// Where one frame section's samples come from (see
+/// [`Modulator::frame_waveform_range_into`]).
+enum Source {
+    /// The pre-computed base up-chirp.
+    Up,
+    /// The pre-computed down-chirp (sliced for the quarter section).
+    Down,
+    /// A regenerated sync or data symbol.
+    Symbol(usize),
 }
 
 #[cfg(test)]
@@ -223,5 +305,86 @@ mod tests {
         for c in &w {
             assert!((c.norm() - 1.0).abs() < 1e-4);
         }
+    }
+
+    /// Concatenating arbitrary ragged ranges must reproduce the full frame
+    /// bit-for-bit — the streamed mixer's correctness rests on this.
+    #[test]
+    fn range_slices_concatenate_to_full_frame_bitwise() {
+        let m = modulator();
+        let symbols = vec![0usize, 255, 17, 128, 200, 1, 7];
+        let full = m.frame_waveform(&symbols);
+        let sps = m.layout().samples_per_symbol;
+        // Ragged cut points: mid-symbol, section boundaries, mid-quarter.
+        let cuts = [
+            0,
+            1,
+            sps / 2,
+            8 * sps, // sync start
+            8 * sps + 3,
+            10 * sps,              // down-chirp start
+            12 * sps + sps / 8,    // inside the quarter down-chirp
+            m.layout().data_start, // first data symbol
+            m.layout().data_start + 2 * sps + 5,
+            full.len() - 1,
+            full.len(),
+        ];
+        let mut scratch = Vec::new();
+        let mut rebuilt = Vec::new();
+        for w in cuts.windows(2) {
+            m.frame_waveform_range_into(&symbols, w[0]..w[1], &mut scratch, &mut rebuilt);
+        }
+        assert_eq!(rebuilt.len(), full.len());
+        for (i, (a, b)) in rebuilt.iter().zip(&full).enumerate() {
+            assert!(a.re == b.re && a.im == b.im, "sample {i} differs");
+        }
+    }
+
+    /// Every aligned and unaligned sub-range equals the same slice of the
+    /// materialised frame exactly.
+    #[test]
+    fn range_matches_full_frame_slice_exactly() {
+        let m = modulator();
+        let symbols = vec![42usize, 3, 250];
+        let full = m.frame_waveform(&symbols);
+        let mut scratch = Vec::new();
+        let sps = m.layout().samples_per_symbol;
+        for &(a, b) in &[
+            (0usize, full.len()),
+            (5, sps + 7),
+            (9 * sps - 1, 11 * sps + 1),
+            (m.layout().downchirp_start, m.layout().data_start),
+            (m.layout().data_start + 1, full.len() - 3),
+        ] {
+            let mut out = Vec::new();
+            m.frame_waveform_range_into(&symbols, a..b, &mut scratch, &mut out);
+            assert_eq!(out.len(), b - a, "range {a}..{b}");
+            for (i, (x, y)) in out.iter().zip(&full[a..b]).enumerate() {
+                assert!(x.re == y.re && x.im == y.im, "range {a}..{b} sample {i}");
+            }
+        }
+    }
+
+    /// Ranges past the frame end are clamped; inverted/empty ranges append
+    /// nothing; output is appended, never cleared.
+    #[test]
+    fn range_clamping_and_append_semantics() {
+        let m = modulator();
+        let symbols = vec![9usize];
+        let full = m.frame_waveform(&symbols);
+        let mut scratch = Vec::new();
+        let mut out = vec![Cf32::new(7.0, -7.0)];
+        m.frame_waveform_range_into(
+            &symbols,
+            full.len()..full.len() + 100,
+            &mut scratch,
+            &mut out,
+        );
+        m.frame_waveform_range_into(&symbols, 10..10, &mut scratch, &mut out);
+        m.frame_waveform_range_into(&symbols, full.len() - 2..usize::MAX, &mut scratch, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Cf32::new(7.0, -7.0));
+        assert!(out[1].re == full[full.len() - 2].re && out[1].im == full[full.len() - 2].im);
+        assert!(out[2].re == full[full.len() - 1].re && out[2].im == full[full.len() - 1].im);
     }
 }

@@ -10,8 +10,11 @@
 //! * [`metrics`] — throughput / detection / delivery metrics;
 //! * [`figures`] — one function per figure of the paper's evaluation
 //!   (E1–E9 in DESIGN.md);
-//! * [`report`] — fixed-width tables, ASCII spectra, JSON export.
+//! * [`report`] — fixed-width tables, ASCII spectra, JSON export;
+//! * [`capacity`] — city-scale capacity campaign: the streamed scenario
+//!   engine driving the full gateway runtime at 1e3–1e5 nodes.
 
+pub mod capacity;
 pub mod experiment;
 pub mod figures;
 pub mod json;
@@ -20,6 +23,7 @@ pub mod report;
 pub mod scenario;
 pub mod schemes;
 
+pub use capacity::{run_point, CapacityOutcome, CapacitySpec};
 pub use experiment::{run, run_all, run_on_capture};
 pub use figures::ScaleConfig;
 pub use json::{JsonValue, ToJson};
