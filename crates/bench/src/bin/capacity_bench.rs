@@ -42,6 +42,7 @@ struct Opts {
     interval_s: f64,
     speed: Option<f64>,
     seed: u64,
+    shards: usize,
     out: String,
 }
 
@@ -50,10 +51,11 @@ fn usage(msg: &str) -> ! {
         "error: {msg}\n\
          usage: capacity_bench [--nodes <n,n,...>] [--deployments <D1,D2,...>]\n\
          \x20                     [--duration <s>] [--interval <s>] [--speed <x>]\n\
-         \x20                     [--seed <n>] [--out <path>]\n\
+         \x20                     [--seed <n>] [--shards <n>] [--out <path>]\n\
          defaults: nodes 1000,10000,100000; deployments D1,D2,D3,D4;\n\
          duration 60s; interval 300s; speed 1 (real time; 0 = unpaced);\n\
-         seed 17; out BENCH_capacity.json"
+         seed 17; shards 1 (N>1 = channel-sharded gateway cluster);\n\
+         out BENCH_capacity.json"
     );
     std::process::exit(2)
 }
@@ -73,6 +75,7 @@ fn parse_opts() -> Opts {
         interval_s: 300.0,
         speed: Some(1.0),
         seed: 17,
+        shards: 1,
         out: "BENCH_capacity.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -128,6 +131,14 @@ fn parse_opts() -> Opts {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
+            "--shards" => {
+                o.shards = next("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards needs an integer"));
+                if o.shards == 0 {
+                    usage("--shards must be at least 1");
+                }
+            }
             "--out" => o.out = next("--out"),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -143,6 +154,13 @@ fn main() {
     );
 
     let plan = BandPlan::uniform(2, 250e3, 500e3, 2, 2);
+    if opts.shards > plan.n_channels() {
+        usage(&format!(
+            "--shards {} exceeds the band's {} channels",
+            opts.shards,
+            plan.n_channels()
+        ));
+    }
     println!(
         "band: {} x {:.0} kHz @ {:.1} MHz wideband, SF {:?}, {} B payload, \
          {:.0} s/node interval, {:.0} s of traffic per point\n",
@@ -175,6 +193,7 @@ fn main() {
                 speed: opts.speed,
                 queue_capacity: QUEUE_CAPACITY,
                 policy: OverloadPolicy::Adaptive,
+                shards: opts.shards,
             };
             let offered_pps = n_nodes as f64 / opts.interval_s;
             let out = run_point(&spec);
@@ -198,7 +217,16 @@ fn main() {
                 s.shed_seconds,
                 s.sic_packets_recovered,
             );
-            rows.push(json_object! {
+            if let Some(cl) = &out.cluster {
+                println!(
+                    "        cluster: {} shards, {} packets merged, \
+                     {} cross-gateway duplicates suppressed",
+                    cl.shards.len(),
+                    cl.packets_merged,
+                    cl.cross_gateway_duplicates,
+                );
+            }
+            let mut row = json_object! {
                 "deployment" => kind.label(),
                 "n_nodes" => n_nodes,
                 "offered" => out.offered,
@@ -222,11 +250,27 @@ fn main() {
                 "samples" => out.samples,
                 "wall_s" => out.wall_s,
                 "achieved_x_realtime" => out.achieved_x_realtime,
-            });
+            };
+            // Sharded rows carry the cluster axis; single-gateway rows
+            // stay byte-identical to the historical schema.
+            if let Some(cl) = &out.cluster {
+                if let JsonValue::Object(pairs) = &mut row {
+                    pairs.push(("shards".to_string(), JsonValue::Num(opts.shards as f64)));
+                    pairs.push((
+                        "cross_gateway_duplicates".to_string(),
+                        JsonValue::Num(cl.cross_gateway_duplicates as f64),
+                    ));
+                    pairs.push((
+                        "packets_merged".to_string(),
+                        JsonValue::Num(cl.packets_merged as f64),
+                    ));
+                }
+            }
+            rows.push(row);
         }
     }
 
-    let doc = json_object! {
+    let mut doc = json_object! {
         "bench" => "capacity",
         "wideband_rate_hz" => plan.wideband_rate_hz(),
         "n_channels" => plan.n_channels(),
@@ -246,6 +290,20 @@ fn main() {
         "peak_rss_bytes" => process_peak_rss_bytes().unwrap_or(0),
         "rows" => JsonValue::Array(rows),
     };
+    // The shards axis appears only on sharded runs, keeping the default
+    // single-gateway document byte-compatible with earlier versions.
+    if opts.shards > 1 {
+        if let JsonValue::Object(pairs) = &mut doc {
+            let at = pairs
+                .iter()
+                .position(|(k, _)| k == "rows")
+                .unwrap_or(pairs.len());
+            pairs.insert(
+                at,
+                ("shards".to_string(), JsonValue::Num(opts.shards as f64)),
+            );
+        }
+    }
     std::fs::write(&opts.out, doc.pretty() + "\n").expect("write BENCH_capacity.json");
     println!("\nwrote {}", opts.out);
 }

@@ -162,7 +162,7 @@ fn main() {
                 queue_capacity: 4,
                 overload: overload_config(policy),
             };
-            let mut gw = Gateway::new(config);
+            let mut gw = Gateway::new(config).expect("valid bench gateway config");
             // Drain decodes as they release instead of sleep-polling: the
             // subscription channel decouples delivery from the pacing loop.
             let rx = gw.subscribe(4096);

@@ -47,7 +47,7 @@ use std::time::Instant;
 
 use cic::{CicConfig, DecodedPacket, StreamingReceiver};
 use lora_dsp::{Cf32, Channelizer, ChannelizerConfig};
-use lora_phy::params::{CodeRate, LoraParams};
+use lora_phy::params::{CodeRate, LoraParams, ParamError};
 
 use crate::load::{
     ControlAction, OverloadConfig, OverloadController, OverloadPolicy, WorkerControl, SHED_RUNG,
@@ -80,11 +80,120 @@ pub struct GatewayConfig {
     pub overload: OverloadConfig,
 }
 
+/// Typed rejection of an invalid [`GatewayConfig`], raised by
+/// [`GatewayConfig::validate`] (and therefore by [`Gateway::new`]) before
+/// any thread is spawned — instead of an `expect` deep inside a worker
+/// constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The channelizer plan has no channels.
+    NoChannels,
+    /// No spreading factors configured (no worker would exist).
+    NoSpreadingFactors,
+    /// A spreading factor appears more than once (duplicate workers
+    /// would double-decode the same stream).
+    DuplicateSpreadingFactor(u8),
+    /// Per-worker queue capacity of zero chunks (no sample could ever be
+    /// enqueued).
+    ZeroQueueCapacity,
+    /// The per-channel LoRa parameters derived from the channelizer
+    /// layout and oversampling are invalid at this spreading factor.
+    InvalidChannelParams {
+        /// Offending spreading factor.
+        sf: u8,
+        /// Derived channel bandwidth (`channel_rate / oversampling`), Hz.
+        bandwidth_hz: f64,
+        /// Configured oversampling factor.
+        oversampling: usize,
+        /// The underlying parameter error.
+        source: ParamError,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoChannels => write!(f, "channelizer plan has no channels"),
+            ConfigError::NoSpreadingFactors => {
+                write!(f, "need at least one spreading factor")
+            }
+            ConfigError::DuplicateSpreadingFactor(sf) => {
+                write!(f, "spreading factor sf{sf} listed more than once")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "per-worker queue capacity must be at least one chunk")
+            }
+            ConfigError::InvalidChannelParams {
+                sf,
+                bandwidth_hz,
+                oversampling,
+                source,
+            } => write!(
+                f,
+                "invalid channel parameters at sf{sf} \
+                 (bandwidth {bandwidth_hz} Hz, oversampling {oversampling}): {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::InvalidChannelParams { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 impl GatewayConfig {
     /// LoRa parameters of one channel stream at spreading factor `sf`.
+    ///
+    /// # Panics
+    /// If the configuration is invalid at `sf` — run
+    /// [`GatewayConfig::validate`] first ([`Gateway::new`] does).
     pub fn channel_params(&self, sf: u8) -> LoraParams {
+        self.try_channel_params(sf)
+            .expect("gateway config holds valid parameters")
+    }
+
+    /// LoRa parameters of one channel stream at `sf`, or the typed
+    /// validation error naming the offending parameters.
+    pub fn try_channel_params(&self, sf: u8) -> Result<LoraParams, ConfigError> {
         let bw = self.channelizer.channel_rate_hz() / self.oversampling as f64;
-        LoraParams::new(sf, bw, self.oversampling).expect("gateway config holds valid parameters")
+        LoraParams::new(sf, bw, self.oversampling).map_err(|source| {
+            ConfigError::InvalidChannelParams {
+                sf,
+                bandwidth_hz: bw,
+                oversampling: self.oversampling,
+                source,
+            }
+        })
+    }
+
+    /// Check every axis of the configuration up front, before any
+    /// resource is allocated or thread spawned: channel plan, spreading
+    /// factor set, queue sizing, and the derived per-channel LoRa
+    /// parameters at every configured spreading factor.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.channelizer.n_channels() == 0 {
+            return Err(ConfigError::NoChannels);
+        }
+        if self.sfs.is_empty() {
+            return Err(ConfigError::NoSpreadingFactors);
+        }
+        for (i, &sf) in self.sfs.iter().enumerate() {
+            if self.sfs[..i].contains(&sf) {
+                return Err(ConfigError::DuplicateSpreadingFactor(sf));
+            }
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        for &sf in &self.sfs {
+            self.try_channel_params(sf)?;
+        }
+        Ok(())
     }
 
     /// The (channel, SF) pair handled by each worker, in worker order.
@@ -383,13 +492,19 @@ pub struct Gateway {
     stats: Arc<GatewayStats>,
     /// Channel-stream samples produced so far, per channel.
     produced: Vec<usize>,
+    /// Deepest below-watermark reach of the release stream, wideband
+    /// samples (largest worker receiver holdback).
+    release_slack: u64,
 }
 
 impl Gateway {
-    /// Spawn the worker pool (and, under the adaptive policy, the control
-    /// thread) and return a ready gateway.
-    pub fn new(mut config: GatewayConfig) -> Self {
-        assert!(!config.sfs.is_empty(), "need at least one spreading factor");
+    /// Validate the configuration, spawn the worker pool (and, under the
+    /// adaptive policy, the control thread) and return a ready gateway.
+    /// An invalid configuration is rejected here with a typed
+    /// [`ConfigError`] naming the offending parameters — no thread is
+    /// spawned and nothing panics.
+    pub fn new(mut config: GatewayConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         // Under the adaptive ladder, a configured SIC stage becomes the
         // boost rung: workers start without it and earn it through
         // recovery steps, so residual passes only ever run with headroom.
@@ -404,11 +519,42 @@ impl Gateway {
         let channelizer = Channelizer::new(config.channelizer.clone());
         let decimation = config.channelizer.decimation as u64;
         let delay_wideband = channelizer.group_delay_wideband() as u64;
-        let max_sf = *config.sfs.iter().max().expect("non-empty sfs");
+        let max_sf = *config.sfs.iter().max().expect("validated: non-empty sfs");
+
+        // Build every receiver before the sink: a worker's reports can
+        // legitimately reach its receiver holdback behind its watermark
+        // (SIC residual passes re-read that much buffered history), so
+        // the sink's duplicate window must retain releases over the
+        // largest holdback of any worker.
+        let receivers: Vec<StreamingReceiver> = workers
+            .iter()
+            .map(|&(_, sf)| {
+                let initial_cic = if adaptive {
+                    // Workers start at rung 0: full effort, no SIC boost.
+                    let mut c = config.cic.clone();
+                    c.sic.depth = 0;
+                    c
+                } else {
+                    config.cic.clone()
+                };
+                StreamingReceiver::new(
+                    config.channel_params(sf),
+                    config.code_rate,
+                    config.payload_len,
+                    initial_cic,
+                )
+            })
+            .collect();
+        let release_slack = receivers
+            .iter()
+            .map(|sr| sr.holdback() as u64 * decimation)
+            .max()
+            .unwrap_or(0);
         let sink = Arc::new(PacketSink::new(
             workers.len(),
             config.oversampling * config.channelizer.decimation,
             max_sf,
+            release_slack,
             stats.clone(),
         ));
 
@@ -416,24 +562,10 @@ impl Gateway {
         let mut worker_channel = Vec::with_capacity(workers.len());
         let mut controls = Vec::with_capacity(workers.len());
         let mut handles = Vec::with_capacity(workers.len());
-        for (idx, &(channel, sf)) in workers.iter().enumerate() {
+        for ((idx, &(channel, sf)), sr) in workers.iter().enumerate().zip(receivers) {
             let wstats = stats.worker(idx);
             let queue = Arc::new(ChunkQueue::new(config.queue_capacity, wstats.clone()));
             let control = Arc::new(WorkerControl::new());
-            let initial_cic = if adaptive {
-                // Workers start at rung 0: full effort, no SIC boost.
-                let mut c = config.cic.clone();
-                c.sic.depth = 0;
-                c
-            } else {
-                config.cic.clone()
-            };
-            let sr = StreamingReceiver::new(
-                config.channel_params(sf),
-                config.code_rate,
-                config.payload_len,
-                initial_cic,
-            );
             let ctx = WorkerCtx {
                 idx,
                 channel,
@@ -481,7 +613,7 @@ impl Gateway {
             None
         };
 
-        Self {
+        Ok(Self {
             channelizer,
             queues,
             worker_channel,
@@ -492,7 +624,8 @@ impl Gateway {
             sink,
             stats,
             produced: vec![0; config.channelizer.n_channels()],
-        }
+            release_slack,
+        })
     }
 
     /// Feed a chunk of wideband samples. Never blocks: overload is
@@ -551,6 +684,20 @@ impl Gateway {
     /// Live telemetry handle (snapshot-readable at any time).
     pub fn stats(&self) -> Arc<GatewayStats> {
         self.stats.clone()
+    }
+
+    /// The sink's current release horizon, wideband samples: this
+    /// gateway's released stream is complete below it. A cluster's
+    /// global watermark is the minimum of these across shards.
+    pub fn release_horizon(&self) -> u64 {
+        self.sink.horizon()
+    }
+
+    /// Deepest legitimate below-watermark reach of the release stream,
+    /// wideband samples — the largest worker receiver holdback. Sizes
+    /// the cross-gateway duplicate window at the cluster merge tier.
+    pub fn release_slack(&self) -> u64 {
+        self.release_slack
     }
 
     /// End of stream: stop the control plane, restore every worker to
@@ -623,7 +770,7 @@ mod tests {
 
     #[test]
     fn empty_stream_finishes_cleanly() {
-        let gw = Gateway::new(config());
+        let gw = Gateway::new(config()).expect("valid config");
         let (packets, snap) = gw.finish();
         assert!(packets.is_empty());
         assert_eq!(snap.samples_in, 0);
@@ -633,7 +780,7 @@ mod tests {
 
     #[test]
     fn silence_produces_no_packets_but_counts_samples() {
-        let mut gw = Gateway::new(config());
+        let mut gw = Gateway::new(config()).expect("valid config");
         for _ in 0..8 {
             gw.push(&vec![Cf32::new(0.0, 0.0); 4096]);
         }
@@ -652,7 +799,7 @@ mod tests {
         // anything.
         let mut cfg = config();
         cfg.overload.tick = std::time::Duration::from_millis(1);
-        let mut gw = Gateway::new(cfg);
+        let mut gw = Gateway::new(cfg).expect("valid config");
         let rx = gw.subscribe(16);
         for _ in 0..4 {
             gw.push(&vec![Cf32::new(0.0, 0.0); 4096]);
@@ -676,7 +823,7 @@ mod tests {
         // instead of stalling (or panicking in the sink horizon).
         let mut cfg = config();
         cfg.overload.policy = OverloadPolicy::DropOldest; // no controller to un-shed
-        let mut gw = Gateway::new(cfg);
+        let mut gw = Gateway::new(cfg).expect("valid config");
         for c in &gw.controls {
             c.set_rung(SHED_RUNG);
         }
@@ -694,12 +841,112 @@ mod tests {
         // condvar gate wakes the policy thread immediately.
         let mut cfg = config();
         cfg.overload.tick = std::time::Duration::from_secs(60);
-        let gw = Gateway::new(cfg);
+        let gw = Gateway::new(cfg).expect("valid config");
         let t0 = Instant::now();
         let (_, _) = gw.finish();
         assert!(
             t0.elapsed() < std::time::Duration::from_secs(10),
             "finish must interrupt the policy tick wait"
         );
+    }
+
+    // Regression (one test per invalid axis): `Gateway::new` used to
+    // `assert!` only the SF list and hit
+    // `LoraParams::new(..).expect(..)` per worker at spawn time for
+    // everything else — an opaque panic deep in a constructor instead of
+    // a typed error naming the offending parameters.
+
+    #[test]
+    fn validate_rejects_sf_below_range() {
+        let mut cfg = config();
+        cfg.sfs = vec![6, 9];
+        match Gateway::new(cfg) {
+            Err(ConfigError::InvalidChannelParams { sf: 6, source, .. }) => {
+                assert_eq!(source, ParamError::InvalidSpreadingFactor(6));
+            }
+            Err(other) => panic!("want InvalidChannelParams at sf6, got {other:?}"),
+            Ok(_) => panic!("invalid sf6 config must be rejected"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_sf_above_range() {
+        let mut cfg = config();
+        cfg.sfs = vec![7, 13];
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::InvalidChannelParams {
+                    sf: 13,
+                    source: ParamError::InvalidSpreadingFactor(13),
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // The error names the offending parameter in its message.
+        assert!(err.to_string().contains("sf13"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_oversampling() {
+        let mut cfg = config();
+        cfg.oversampling = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::InvalidChannelParams {
+                    source: ParamError::ZeroOversampling,
+                    oversampling: 0,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_bandwidth() {
+        // A hand-built channelizer layout with a zero wideband rate
+        // derives a zero channel bandwidth.
+        let mut cfg = config();
+        cfg.channelizer.wideband_rate_hz = 0.0;
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::InvalidChannelParams {
+                    source: ParamError::InvalidBandwidth,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_layouts() {
+        let mut cfg = config();
+        cfg.sfs = vec![];
+        assert_eq!(cfg.validate(), Err(ConfigError::NoSpreadingFactors));
+
+        let mut cfg = config();
+        cfg.sfs = vec![7, 9, 7];
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::DuplicateSpreadingFactor(7))
+        );
+
+        let mut cfg = config();
+        cfg.channelizer.offsets_hz.clear();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoChannels));
+
+        let mut cfg = config();
+        cfg.queue_capacity = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroQueueCapacity));
+
+        assert!(config().validate().is_ok());
     }
 }

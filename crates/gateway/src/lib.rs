@@ -15,6 +15,11 @@
 //!   resort;
 //! * [`sink`] — the watermark-based merge of all worker outputs into one
 //!   time-ordered, duplicate-suppressed stream;
+//! * [`dedup`] — the duplicate-suppression window shared by the sink and
+//!   the cluster merge tier;
+//! * [`cluster`] — the sharded scale-out tier: N gateways over slices of
+//!   one band behind a single global watermark, with cross-gateway
+//!   duplicate suppression for overlapping coverage;
 //! * [`stats`] — [`GatewayStats`]: atomic counters and log2 latency
 //!   histograms, snapshot-readable while the gateway runs.
 //!
@@ -22,13 +27,17 @@
 //! wideband multi-channel stimulus for tests and benchmarks lives in
 //! `lora_channel::wideband`.
 
+pub mod cluster;
+pub mod dedup;
 pub mod gateway;
 pub mod load;
 pub mod queue;
 pub mod sink;
 pub mod stats;
 
-pub use gateway::{Gateway, GatewayConfig};
+pub use cluster::{ClusterConfig, ClusterError, ClusterSnapshot, GatewayCluster, ShardPlan};
+pub use dedup::{DedupEntry, DedupWindow};
+pub use gateway::{ConfigError, Gateway, GatewayConfig};
 pub use load::{
     ControlAction, LoadMonitor, OverloadConfig, OverloadController, OverloadPolicy, WorkerControl,
     SHED_RUNG, SIC_RUNG,

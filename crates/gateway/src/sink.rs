@@ -19,6 +19,7 @@ use std::sync::{Arc, Mutex};
 
 use cic::DecodedPacket;
 
+use crate::dedup::{DedupEntry, DedupWindow};
 use crate::stats::GatewayStats;
 
 /// A decoded packet with its gateway-level provenance.
@@ -35,20 +36,13 @@ pub struct GatewayPacket {
     pub packet: DecodedPacket,
 }
 
-struct Released {
-    channel: usize,
-    sf: u8,
-    start_wideband: u64,
-    payload: Option<Vec<u8>>,
-}
-
 struct SinkInner {
     /// Per-worker release bound, wideband samples.
     watermarks: Vec<u64>,
     /// Reported but not yet releasable.
     pending: Vec<GatewayPacket>,
     /// Recently released packets, kept for duplicate suppression.
-    recent: Vec<Released>,
+    recent: DedupWindow,
     /// Released, time-ordered, awaiting collection (the poll path, and
     /// the overflow backlog while a subscriber's channel is full).
     released: VecDeque<GatewayPacket>,
@@ -61,37 +55,48 @@ struct SinkInner {
 pub struct PacketSink {
     inner: Mutex<SinkInner>,
     stats: Arc<GatewayStats>,
-    /// Wideband samples per chip (`oversampling × decimation`); symbol
-    /// length at SF `s` is `2^s` chips.
-    chip_wideband: u64,
-    /// Largest SF any worker decodes, for the dedup horizon.
-    max_sf: u8,
 }
 
 impl PacketSink {
-    /// A sink merging `n_workers` streams.
+    /// A sink merging `n_workers` streams, with `chip_wideband` wideband
+    /// samples per chip (`oversampling × decimation`) and workers
+    /// decoding up to `max_sf`.
+    ///
+    /// `release_slack` is how far behind the release watermark the
+    /// immediate-release path can legitimately reach, in wideband
+    /// samples: a worker's below-watermark report (a SIC residual pass
+    /// re-reading buffered history, or the laggard defining the minimum)
+    /// starts at most its receiver holdback behind its own watermark, so
+    /// the gateway passes the largest worker holdback here. The
+    /// duplicate-suppression window retains releases over this whole
+    /// span — pruning tighter would let an old laggard's duplicate be
+    /// re-emitted after its original was forgotten.
     pub fn new(
         n_workers: usize,
         chip_wideband: usize,
         max_sf: u8,
+        release_slack: u64,
         stats: Arc<GatewayStats>,
     ) -> Self {
         Self {
             inner: Mutex::new(SinkInner {
                 watermarks: vec![0; n_workers],
                 pending: Vec::new(),
-                recent: Vec::new(),
+                recent: DedupWindow::new(chip_wideband, max_sf, release_slack),
                 released: VecDeque::new(),
                 subscriber: None,
             }),
             stats,
-            chip_wideband: chip_wideband as u64,
-            max_sf,
         }
     }
 
-    fn symbol_len(&self, sf: u8) -> u64 {
-        (1u64 << sf) * self.chip_wideband
+    /// The current release horizon: the minimum over per-worker
+    /// watermarks, i.e. the wideband position below which this gateway's
+    /// released stream is complete. A cluster takes the minimum of these
+    /// across shards as its global watermark.
+    pub fn horizon(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.watermarks.iter().min().copied().unwrap_or(u64::MAX)
     }
 
     /// Report newly decoded packets. Packets already covered by the
@@ -205,13 +210,16 @@ impl PacketSink {
         inner.pending = keep;
         due.sort_by_key(|p| (p.start_wideband, p.channel, p.sf));
         for p in due {
-            if self.is_duplicate(&inner.recent, &p) {
+            if inner
+                .recent
+                .is_duplicate(p.channel, p.sf, p.start_wideband, &p.packet.payload)
+            {
                 self.stats
                     .duplicates_suppressed
                     .fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            inner.recent.push(Released {
+            inner.recent.accept(DedupEntry {
                 channel: p.channel,
                 sf: p.sf,
                 start_wideband: p.start_wideband,
@@ -230,30 +238,11 @@ impl PacketSink {
                 .partition_point(|q| (q.start_wideband, q.channel, q.sf) <= key);
             inner.released.insert(at, p);
         }
-        // Duplicates of a transmission start within ~a symbol of each
-        // other; pruning a few max-SF symbols behind the watermark keeps
-        // `recent` small without ever forgetting a live candidate.
-        let prune = horizon.saturating_sub(4 * self.symbol_len(self.max_sf));
-        inner.recent.retain(|r| r.start_wideband >= prune);
+        // The dedup window prunes itself against the watermark; its
+        // retention covers the immediate-release slack, so no live
+        // duplicate candidate is ever forgotten (see `PacketSink::new`).
+        inner.recent.prune(horizon);
         self.forward(inner);
-    }
-
-    /// Two reports describe the same transmission when they sit on the
-    /// same channel at (nearly) the same time: identical payloads within
-    /// a symbol, or the same (channel, SF) stream within half a symbol
-    /// (the in-stream dedup safety net).
-    fn is_duplicate(&self, recent: &[Released], p: &GatewayPacket) -> bool {
-        recent.iter().any(|r| {
-            if r.channel != p.channel {
-                return false;
-            }
-            let dt = r.start_wideband.abs_diff(p.start_wideband);
-            let same_stream = r.sf == p.sf && dt < self.symbol_len(p.sf) / 2;
-            let same_payload = p.packet.payload.is_some()
-                && r.payload == p.packet.payload
-                && dt < self.symbol_len(p.sf.max(r.sf));
-            same_stream || same_payload
-        })
     }
 }
 
@@ -289,7 +278,7 @@ mod tests {
 
     #[test]
     fn holds_until_all_watermarks_cover() {
-        let sink = PacketSink::new(2, 16, 9, stats());
+        let sink = PacketSink::new(2, 16, 9, 0, stats());
         sink.report(vec![pkt(0, 7, 1000, b"a")]);
         sink.set_watermark(0, 50_000);
         // Worker 1 still at 0: nothing may be released yet.
@@ -303,7 +292,7 @@ mod tests {
     #[test]
     fn releases_in_time_order_across_workers() {
         let s = stats();
-        let sink = PacketSink::new(2, 16, 9, s.clone());
+        let sink = PacketSink::new(2, 16, 9, 0, s.clone());
         sink.report(vec![pkt(0, 7, 9000, b"b")]);
         sink.report(vec![pkt(1, 7, 4000, b"a"), pkt(1, 7, 12_000, b"c")]);
         sink.finish_worker(0);
@@ -317,7 +306,7 @@ mod tests {
     #[test]
     fn suppresses_same_payload_duplicate_on_channel() {
         let s = stats();
-        let sink = PacketSink::new(2, 16, 9, s.clone());
+        let sink = PacketSink::new(2, 16, 9, 0, s.clone());
         // Same channel, same payload, one symbol apart: one transmission.
         sink.report(vec![pkt(0, 7, 10_000, b"dup")]);
         sink.report(vec![pkt(0, 9, 10_500, b"dup")]);
@@ -336,7 +325,7 @@ mod tests {
         // packet already covered by the global watermark sat there until
         // some worker next moved its watermark — a full chunk late, or
         // forever if no further samples arrived before `finish`.
-        let sink = PacketSink::new(2, 16, 9, stats());
+        let sink = PacketSink::new(2, 16, 9, 0, stats());
         sink.set_watermark(0, 10_000);
         sink.set_watermark(1, 8_000);
         // Worker 1 (the laggard defining the minimum) now reports a
@@ -355,7 +344,7 @@ mod tests {
         // that starts before packets already sitting there broke the
         // "globally non-decreasing start time" invariant. Due packets must
         // be inserted in (start_wideband, channel, sf) order instead.
-        let sink = PacketSink::new(2, 16, 9, stats());
+        let sink = PacketSink::new(2, 16, 9, 0, stats());
         sink.set_watermark(0, 10_000);
         sink.set_watermark(1, 8_000);
         // Worker 0 reports a packet below the global watermark (8 000):
@@ -378,7 +367,7 @@ mod tests {
         // because the residual pass re-reads buffered history — is
         // released immediately and in time order.
         let s = stats();
-        let sink = PacketSink::new(2, 16, 9, s.clone());
+        let sink = PacketSink::new(2, 16, 9, 0, s.clone());
         sink.report(vec![pkt(0, 7, 10_000, b"strong")]);
         sink.set_watermark(0, 20_000);
         sink.set_watermark(1, 20_000);
@@ -396,6 +385,39 @@ mod tests {
     }
 
     #[test]
+    fn laggard_duplicate_beyond_old_prune_window_is_still_suppressed() {
+        // Regression: `drain` pruned the dedup set to a fixed
+        // `4 × symbol_len(max_sf)` behind the horizon, ignoring how far
+        // behind the watermark the immediate-release path can reach (the
+        // receiver holdback, passed as `release_slack`). A SIC residual
+        // pass re-reporting a transmission older than the four-symbol
+        // window was compared against a `recent` set that had already
+        // forgotten its original and was emitted twice.
+        let s = stats();
+        // Workers whose receivers hold back up to 100 000 wideband
+        // samples of history.
+        let sink = PacketSink::new(2, 16, 9, 100_000, s.clone());
+        sink.report(vec![pkt(0, 7, 10_000, b"dup")]);
+        sink.set_watermark(0, 20_000);
+        sink.set_watermark(1, 20_000);
+        assert_eq!(sink.take_released().len(), 1);
+        // Advance far past the old four-symbol prune window
+        // (4 × 512 × 16 = 32 768 wideband samples) but within the
+        // declared release slack.
+        sink.set_watermark(0, 60_000);
+        sink.set_watermark(1, 60_000);
+        // The residual pass re-detects the released transmission from
+        // buffered history: below the watermark, so the immediate-release
+        // path runs — and must still find the original in the window.
+        let mut ghost = pkt(0, 7, 10_200, b"dup");
+        ghost.packet.sic_pass = 1;
+        sink.report(vec![ghost]);
+        let got = sink.take_released();
+        assert!(got.is_empty(), "stale duplicate re-emitted: {got:?}");
+        assert_eq!(s.snapshot().duplicates_suppressed, 1);
+    }
+
+    #[test]
     fn sink_with_no_workers_releases_instead_of_panicking() {
         // Regression: `drain` computed the horizon with
         // `watermarks.iter().min().expect("at least one worker")`, so a
@@ -403,7 +425,7 @@ mod tests {
         // fully-detached configuration — panicked on the first report
         // instead of releasing. With nobody left to wait for, the horizon
         // must open fully and reported packets flow straight through.
-        let sink = PacketSink::new(0, 16, 9, stats());
+        let sink = PacketSink::new(0, 16, 9, 0, stats());
         sink.report(vec![pkt(0, 7, 9_000, b"b"), pkt(0, 7, 1_000, b"a")]);
         let got = sink.take_released();
         let starts: Vec<u64> = got.iter().map(|p| p.start_wideband).collect();
@@ -412,7 +434,7 @@ mod tests {
 
     #[test]
     fn subscriber_receives_releases_in_order() {
-        let sink = PacketSink::new(1, 16, 9, stats());
+        let sink = PacketSink::new(1, 16, 9, 0, stats());
         // A packet already released before the subscription attaches is
         // handed over first.
         sink.set_watermark(0, 100_000);
@@ -426,7 +448,7 @@ mod tests {
 
     #[test]
     fn full_subscriber_channel_overflows_to_backlog_in_order() {
-        let sink = PacketSink::new(1, 16, 9, stats());
+        let sink = PacketSink::new(1, 16, 9, 0, stats());
         let rx = sink.subscribe(2);
         sink.set_watermark(0, 1_000_000);
         sink.report(vec![
@@ -451,7 +473,7 @@ mod tests {
 
     #[test]
     fn dropped_subscriber_reverts_to_polling() {
-        let sink = PacketSink::new(1, 16, 9, stats());
+        let sink = PacketSink::new(1, 16, 9, 0, stats());
         let rx = sink.subscribe(4);
         drop(rx);
         sink.set_watermark(0, 100_000);
@@ -462,7 +484,7 @@ mod tests {
 
     #[test]
     fn watermarks_are_monotone() {
-        let sink = PacketSink::new(1, 16, 7, stats());
+        let sink = PacketSink::new(1, 16, 7, 0, stats());
         sink.set_watermark(0, 5000);
         sink.report(vec![pkt(0, 7, 4000, b"x")]);
         // A stale lower watermark must not rewind the release bound.

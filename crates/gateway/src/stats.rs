@@ -149,6 +149,21 @@ impl HistogramSnapshot {
         self.max_bucket_ns()
     }
 
+    /// Fold another histogram into this one (elementwise bucket sums;
+    /// the shorter bucket vector is padded). Log2 buckets over the same
+    /// nanosecond grid sum exactly, so a cluster's merged latency
+    /// distribution is as faithful as any single gateway's.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+    }
+
     /// The p50/p95/p99 summary the capacity campaign records per
     /// operating point.
     pub fn percentiles(&self) -> LatencyPercentiles {
@@ -509,6 +524,67 @@ pub struct GatewaySnapshot {
     pub workers: Vec<WorkerSnapshot>,
 }
 
+impl GatewaySnapshot {
+    /// Aggregate several per-gateway snapshots into one cluster-level
+    /// view: counters sum, latency histograms merge bucketwise (with the
+    /// tail percentiles recomputed from the merged distribution), rung
+    /// engagements sum per slot, and the worker lists concatenate in
+    /// shard order. Note that `packets_released` counts per-shard
+    /// releases — under overlapping coverage the cluster's *deduplicated*
+    /// stream is smaller; see `ClusterSnapshot::packets_merged`.
+    pub fn merged(shards: &[GatewaySnapshot]) -> GatewaySnapshot {
+        let mut channelize = HistogramSnapshot {
+            count: 0,
+            total_ns: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        let mut decode = channelize.clone();
+        let mut rung_engagements = vec![0u64; RUNG_SLOTS];
+        let mut workers = Vec::new();
+        for s in shards {
+            channelize.merge(&s.channelize);
+            decode.merge(&s.decode);
+            if s.rung_engagements.len() > rung_engagements.len() {
+                rung_engagements.resize(s.rung_engagements.len(), 0);
+            }
+            for (r, &o) in rung_engagements.iter_mut().zip(&s.rung_engagements) {
+                *r += o;
+            }
+            workers.extend(s.workers.iter().cloned());
+        }
+        let sum = |f: fn(&GatewaySnapshot) -> u64| shards.iter().map(f).sum::<u64>();
+        let decode_percentiles = decode.percentiles();
+        GatewaySnapshot {
+            samples_in: sum(|s| s.samples_in),
+            chunks_in: sum(|s| s.chunks_in),
+            frames_in: sum(|s| s.frames_in),
+            frames_dropped: sum(|s| s.frames_dropped),
+            frames_rejected: sum(|s| s.frames_rejected),
+            samples_gapped: sum(|s| s.samples_gapped),
+            reconnects: sum(|s| s.reconnects),
+            packets_released: sum(|s| s.packets_released),
+            duplicates_suppressed: sum(|s| s.duplicates_suppressed),
+            packets_decoded: sum(|s| s.packets_decoded),
+            crc_failures: sum(|s| s.crc_failures),
+            chunks_dropped: sum(|s| s.chunks_dropped),
+            samples_dropped: sum(|s| s.samples_dropped),
+            chunks_shed: sum(|s| s.chunks_shed),
+            samples_shed: sum(|s| s.samples_shed),
+            degrade_events: sum(|s| s.degrade_events),
+            restore_events: sum(|s| s.restore_events),
+            shed_seconds: shards.iter().map(|s| s.shed_seconds).sum(),
+            sic_passes: sum(|s| s.sic_passes),
+            sic_packets_recovered: sum(|s| s.sic_packets_recovered),
+            sic_residual_abandoned: sum(|s| s.sic_residual_abandoned),
+            rung_engagements,
+            channelize,
+            decode,
+            decode_percentiles,
+            workers,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -736,6 +812,57 @@ mod tests {
         assert_eq!(s.frames_rejected, 2);
         assert_eq!(s.samples_gapped, 12_288);
         assert_eq!(s.reconnects, 1);
+    }
+
+    #[test]
+    fn histogram_merge_sums_buckets_and_percentiles_follow() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..50 {
+            a.record(Duration::from_nanos(16));
+            b.record(Duration::from_nanos(1024));
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 100);
+        assert_eq!(m.total_ns, 50 * 16 + 50 * 1024);
+        assert_eq!(m.buckets[4], 50);
+        assert_eq!(m.buckets[10], 50);
+        // The merged distribution's median sits between the two modes.
+        let p50 = m.percentile_ns(0.50);
+        assert!((16..=32).contains(&p50), "{p50}");
+        let p99 = m.percentile_ns(0.99);
+        assert!((1024..=2048).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn merged_snapshot_aggregates_shards() {
+        let a = GatewayStats::new(&[(0, 7)]);
+        let b = GatewayStats::new(&[(0, 9), (1, 9)]);
+        a.worker(0).packets_decoded.fetch_add(3, Ordering::Relaxed);
+        b.worker(1).packets_decoded.fetch_add(4, Ordering::Relaxed);
+        a.samples_in.fetch_add(100, Ordering::Relaxed);
+        b.samples_in.fetch_add(200, Ordering::Relaxed);
+        a.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+        a.decode.record(Duration::from_micros(10));
+        b.decode.record(Duration::from_micros(10));
+        a.record_rung_engagement(SHED_RUNG);
+        b.record_rung_engagement(SHED_RUNG);
+        let m = GatewaySnapshot::merged(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(m.packets_decoded, 7);
+        assert_eq!(m.samples_in, 300);
+        assert_eq!(m.duplicates_suppressed, 1);
+        assert_eq!(m.decode.count, 2);
+        assert_eq!(m.decode_percentiles, m.decode.percentiles());
+        assert_eq!(m.rung_engagements[rung_slot(SHED_RUNG)], 2);
+        // Workers concatenate in shard order.
+        assert_eq!(m.workers.len(), 3);
+        assert_eq!((m.workers[0].channel, m.workers[0].sf), (0, 7));
+        assert_eq!((m.workers[2].channel, m.workers[2].sf), (1, 9));
+        // Merging nothing is the empty snapshot.
+        let empty = GatewaySnapshot::merged(&[]);
+        assert_eq!(empty.samples_in, 0);
+        assert_eq!(empty.decode.count, 0);
     }
 
     #[test]

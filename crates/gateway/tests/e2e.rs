@@ -145,7 +145,8 @@ fn gateway_matches_batch_exactly_once_in_order() {
         "batch reference too small to be meaningful: {expected:?}"
     );
 
-    let mut gw = Gateway::new(gateway_config(&plan, 256, pinned_drop_oldest()));
+    let mut gw =
+        Gateway::new(gateway_config(&plan, 256, pinned_drop_oldest())).expect("valid config");
     // Ragged, arbitrary chunk sizes (some below the decimation factor).
     let sizes = [4096usize, 9973, 1, 16384, 1000, 3, 32768, 777];
     let mut pos = 0;
@@ -210,7 +211,8 @@ fn overloaded_gateway_sheds_load_and_stays_consistent() {
     // Queue depth 1 with a producer pushing flat out: decode cannot keep
     // up, so the drop-oldest policy must engage and the workers must
     // resynchronise across the gaps instead of wedging or panicking.
-    let mut gw = Gateway::new(gateway_config(&plan, 1, pinned_drop_oldest()));
+    let mut gw =
+        Gateway::new(gateway_config(&plan, 1, pinned_drop_oldest())).expect("valid config");
     for chunk in cap.samples.chunks(2048) {
         gw.push(chunk);
     }
@@ -265,7 +267,7 @@ fn idle_workers_release_decoded_packets_without_more_samples() {
 
     let mut overload = OverloadConfig::drop_oldest();
     overload.idle_timeout = Duration::from_millis(50);
-    let mut gw = Gateway::new(gateway_config(&plan, 64, overload));
+    let mut gw = Gateway::new(gateway_config(&plan, 64, overload)).expect("valid config");
     gw.push(&samples);
 
     // No further pushes and no finish(): only the idle watermark can
@@ -318,7 +320,8 @@ fn packet_ending_at_capture_end_decodes_through_flush() {
         }],
     );
 
-    let mut gw = Gateway::new(gateway_config(&plan, 64, pinned_drop_oldest()));
+    let mut gw =
+        Gateway::new(gateway_config(&plan, 64, pinned_drop_oldest())).expect("valid config");
     gw.push(&samples);
     let (packets, _) = gw.finish();
     assert_eq!(
@@ -407,7 +410,7 @@ fn sic_boost_recovers_buried_packet_when_cool() {
             ..OverloadConfig::default()
         },
     };
-    let mut gw = Gateway::new(config);
+    let mut gw = Gateway::new(config).expect("valid config");
     // Idle dwell: the sustained-cool ladder grants the SIC boost.
     std::thread::sleep(Duration::from_millis(50));
     for chunk in samples.chunks(16_384) {
@@ -465,7 +468,7 @@ fn overloaded_gateway_never_engages_sic_boost() {
         },
     );
     config.cic.sic = cic::SicConfig::hybrid();
-    let mut gw = Gateway::new(config);
+    let mut gw = Gateway::new(config).expect("valid config");
     for chunk in cap.samples.chunks(2048) {
         gw.push(chunk);
     }
@@ -550,7 +553,7 @@ fn run_overloaded(
     overload: OverloadConfig,
     pace: Duration,
 ) -> (usize, lora_gateway::GatewaySnapshot) {
-    let mut gw = Gateway::new(gateway_config(plan, 1, overload));
+    let mut gw = Gateway::new(gateway_config(plan, 1, overload)).expect("valid config");
     let rx = gw.subscribe(4096);
     let mut ok = 0usize;
     for chunk in samples.chunks(32_768) {

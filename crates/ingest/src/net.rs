@@ -42,9 +42,33 @@ impl Backoff {
         d
     }
 
-    /// Back to the base delay (call after a successful receive).
+    /// Back to the base delay (call once the link has proven healthy —
+    /// NOT merely connected; see [`note_frame`]).
     pub fn reset(&mut self) {
         self.next = self.base;
+    }
+
+    /// The delay the next reconnect attempt would sleep (telemetry /
+    /// test visibility; does not advance the schedule).
+    pub fn current(&self) -> Duration {
+        self.next
+    }
+}
+
+/// Record one successfully decoded frame towards the link-health gate.
+///
+/// The backoff must NOT rewind on a successful dial/rebind alone: a
+/// flapping peer that accepts and immediately drops connections would
+/// then retry at the base delay forever, hammering the network in a
+/// tight loop. The link counts as healthy — and the backoff rewinds to
+/// base — only once frames have kept arriving for a full liveness
+/// window since the last (re)connect.
+fn note_frame(healthy_since: &mut Option<Instant>, backoff: &mut Backoff, window: Duration) {
+    let now = Instant::now();
+    match *healthy_since {
+        None => *healthy_since = Some(now),
+        Some(t0) if now.duration_since(t0) >= window => backoff.reset(),
+        Some(_) => {}
     }
 }
 
@@ -94,6 +118,9 @@ pub struct UdpIqSource {
     cfg: NetConfig,
     buf: Vec<u8>,
     last_rx: Instant,
+    /// Start of the current uninterrupted run of decoded frames, `None`
+    /// until the first frame after a (re)bind. Gates the backoff reset.
+    healthy_since: Option<Instant>,
 }
 
 impl UdpIqSource {
@@ -108,7 +135,14 @@ impl UdpIqSource {
             cfg,
             buf: vec![0u8; MAX_FRAME_BYTES],
             last_rx: Instant::now(),
+            healthy_since: None,
         })
+    }
+
+    /// The delay the next rebind would wait — escalates across a flap
+    /// and rewinds only after a sustained healthy interval.
+    pub fn current_backoff(&self) -> Duration {
+        self.cfg.backoff.current()
     }
 
     /// The bound local address (port resolved), for handing to a sender.
@@ -129,7 +163,11 @@ impl UdpIqSource {
                 }
                 self.sock = Some(sock);
                 self.last_rx = Instant::now();
-                self.cfg.backoff.reset();
+                // Deliberately no `backoff.reset()` here: a rebind
+                // succeeding proves nothing about the link (the local
+                // bind almost always succeeds). The reset is gated on
+                // sustained frame arrival — see `note_frame`.
+                self.healthy_since = None;
                 IqEvent::Reconnected
             }
             // Port grabbed by someone else in the window: report idle and
@@ -148,12 +186,26 @@ impl IqSource for UdpIqSource {
             Ok(n) => {
                 self.last_rx = Instant::now();
                 match decode_frame(&self.buf[..n]) {
-                    Ok((h, _)) if h.is_eos() => IqEvent::End,
-                    Ok((h, samples)) => IqEvent::Frame(IqFrame {
-                        seq: h.seq,
-                        first_sample: h.first_sample,
-                        samples,
-                    }),
+                    Ok((h, _)) if h.is_eos() => {
+                        note_frame(
+                            &mut self.healthy_since,
+                            &mut self.cfg.backoff,
+                            self.cfg.liveness_timeout,
+                        );
+                        IqEvent::End
+                    }
+                    Ok((h, samples)) => {
+                        note_frame(
+                            &mut self.healthy_since,
+                            &mut self.cfg.backoff,
+                            self.cfg.liveness_timeout,
+                        );
+                        IqEvent::Frame(IqFrame {
+                            seq: h.seq,
+                            first_sample: h.first_sample,
+                            samples,
+                        })
+                    }
                     Err(e) => IqEvent::Corrupt(e),
                 }
             }
@@ -242,6 +294,9 @@ pub struct TcpIqSource {
     /// Whether a connection has ever been established — the first
     /// successful dial is not a *re*connect.
     connected_before: bool,
+    /// Start of the current uninterrupted run of decoded frames, `None`
+    /// until the first frame after a (re)dial. Gates the backoff reset.
+    healthy_since: Option<Instant>,
 }
 
 impl TcpIqSource {
@@ -254,7 +309,14 @@ impl TcpIqSource {
             pending: Vec::new(),
             last_rx: Instant::now(),
             connected_before: false,
+            healthy_since: None,
         }
+    }
+
+    /// The delay the next re-dial would wait — escalates across a flap
+    /// and rewinds only after a sustained healthy interval.
+    pub fn current_backoff(&self) -> Duration {
+        self.cfg.backoff.current()
     }
 
     /// Drop the connection and dial again. Partial frame bytes cannot
@@ -270,7 +332,11 @@ impl TcpIqSource {
                 }
                 self.stream = Some(s);
                 self.last_rx = Instant::now();
-                self.cfg.backoff.reset();
+                // Deliberately no `backoff.reset()` here: a flapping peer
+                // that accepts and immediately drops connections would
+                // otherwise be re-dialled at the base delay forever. The
+                // reset is gated on sustained frame arrival — `note_frame`.
+                self.healthy_since = None;
                 if std::mem::replace(&mut self.connected_before, true) {
                     IqEvent::Reconnected
                 } else {
@@ -308,6 +374,11 @@ impl IqSource for TcpIqSource {
             // more than one frame.
             match self.try_parse() {
                 Some(Ok((seq, first_sample, samples))) => {
+                    note_frame(
+                        &mut self.healthy_since,
+                        &mut self.cfg.backoff,
+                        self.cfg.liveness_timeout,
+                    );
                     return if samples.is_empty() {
                         IqEvent::End
                     } else {

@@ -58,6 +58,7 @@ fn gateway(plan: &BandPlan) -> Gateway {
             ..OverloadConfig::drop_oldest()
         },
     })
+    .expect("valid config")
 }
 
 fn capture(seed: u64) -> (BandPlan, WidebandCapture) {

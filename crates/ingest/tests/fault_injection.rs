@@ -8,7 +8,10 @@ use std::time::Duration;
 use cic::CicConfig;
 use lora_dsp::{Cf32, ChannelizerConfig};
 use lora_gateway::{Gateway, GatewayConfig, OverloadConfig};
-use lora_ingest::{FrameError, IngestConfig, IngestDriver, IqEvent, IqFrame, IqSource};
+use lora_ingest::{
+    Backoff, FrameError, IngestConfig, IngestDriver, IqEvent, IqFrame, IqSource, NetConfig,
+    TcpIqSource, UdpIqSender, UdpIqSource,
+};
 use lora_phy::params::CodeRate;
 
 fn gateway() -> Gateway {
@@ -25,6 +28,7 @@ fn gateway() -> Gateway {
             ..OverloadConfig::drop_oldest()
         },
     })
+    .expect("valid config")
 }
 
 /// Replays a fixed event script, then reports end of stream forever.
@@ -145,6 +149,168 @@ fn stale_stream_restart_is_rejected_not_replayed() {
     assert_eq!(snap.frames_rejected, 2);
     assert_eq!(snap.samples_gapped, 0);
     assert_eq!(snap.samples_in, 3000);
+}
+
+/// Regression: the backoff used to rewind to base on every successful
+/// TCP dial, so a flapping peer (crash-looping sender behind a
+/// supervisor: accepts, then drops immediately) was re-dialled in a
+/// tight loop at the base delay forever. A connection that merely
+/// *opened* proves nothing — delays must keep escalating until frames
+/// have flowed for a full liveness window.
+#[test]
+fn tcp_flapping_peer_escalates_backoff() {
+    use std::io::ErrorKind;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("listen");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let addr = listener.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flapper = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || {
+            // Accept and instantly drop every connection, never sending
+            // a byte: each drop forces the source back into redial.
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _)) => drop(conn),
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    });
+
+    let base = Duration::from_millis(1);
+    let mut source = TcpIqSource::connect(
+        addr,
+        NetConfig {
+            read_timeout: Duration::from_millis(5),
+            liveness_timeout: Duration::from_millis(200),
+            backoff: Backoff::new(base, Duration::from_millis(100)),
+        },
+    );
+    let mut observed = Vec::new();
+    for _ in 0..400 {
+        if matches!(source.next_event(), IqEvent::Reconnected) {
+            observed.push(source.current_backoff());
+            if observed.len() >= 5 {
+                break;
+            }
+        }
+    }
+    assert!(
+        observed.len() >= 5,
+        "flapping peer produced only {} re-dials",
+        observed.len()
+    );
+    assert!(
+        observed.windows(2).all(|w| w[1] >= w[0]),
+        "backoff rewound across a flap: {observed:?}"
+    );
+    assert!(
+        *observed.last().unwrap() >= base * 8,
+        "backoff never escalated across a flapping peer: {observed:?}"
+    );
+    drop(source);
+    stop.store(true, Ordering::Relaxed);
+    flapper.join().expect("flapper thread");
+}
+
+/// Regression companion on the UDP side: a silent link (sender gone)
+/// drives liveness-timeout rebinds, and since a local rebind virtually
+/// always succeeds, the old reset-on-rebind kept the loop at the base
+/// delay. Rebind delays must escalate under persistent silence.
+#[test]
+fn udp_silent_link_escalates_rebind_backoff() {
+    let base = Duration::from_millis(1);
+    let mut source = UdpIqSource::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            read_timeout: Duration::from_millis(5),
+            liveness_timeout: Duration::from_millis(10),
+            backoff: Backoff::new(base, Duration::from_millis(100)),
+        },
+    )
+    .expect("bind");
+    let mut rebinds = 0;
+    for _ in 0..500 {
+        if matches!(source.next_event(), IqEvent::Reconnected) {
+            rebinds += 1;
+            if rebinds >= 5 {
+                break;
+            }
+        }
+    }
+    assert!(rebinds >= 5, "silence produced only {rebinds} rebinds");
+    assert!(
+        source.current_backoff() >= base * 8,
+        "rebind backoff never escalated under persistent silence: {:?}",
+        source.current_backoff()
+    );
+}
+
+/// The other half of the health gate: once frames keep arriving for a
+/// full liveness window, the link has proven itself and the backoff
+/// must rewind to base — escalation is for flaps, not forever.
+#[test]
+fn sustained_healthy_link_rewinds_backoff_to_base() {
+    let base = Duration::from_millis(1);
+    let mut source = UdpIqSource::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            read_timeout: Duration::from_millis(5),
+            liveness_timeout: Duration::from_millis(60),
+            backoff: Backoff::new(base, Duration::from_millis(100)),
+        },
+    )
+    .expect("bind");
+    let dest = source.local_addr();
+
+    // Escalate first: dead air forces a few liveness rebinds.
+    let mut rebinds = 0;
+    for _ in 0..500 {
+        if matches!(source.next_event(), IqEvent::Reconnected) {
+            rebinds += 1;
+            if rebinds >= 3 {
+                break;
+            }
+        }
+    }
+    assert!(
+        source.current_backoff() > base,
+        "precondition: backoff must be escalated before the link heals"
+    );
+
+    // Now a healthy sender: frames keep arriving well past one liveness
+    // window, which is what actually earns the reset.
+    let sender = std::thread::spawn(move || {
+        let mut tx = UdpIqSender::connect(dest).expect("sender");
+        let chunk = vec![Cf32::new(0.0, 0.0); 64];
+        for _ in 0..60 {
+            tx.send(&chunk, true).expect("send");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    let mut frames = 0u32;
+    for _ in 0..2000 {
+        if matches!(source.next_event(), IqEvent::Frame(_)) {
+            frames += 1;
+        }
+        if source.current_backoff() == base {
+            break;
+        }
+    }
+    sender.join().expect("sender thread");
+    assert!(frames > 0, "healthy sender delivered no frames");
+    assert_eq!(
+        source.current_backoff(),
+        base,
+        "a sustained healthy interval must rewind the backoff"
+    );
 }
 
 #[test]

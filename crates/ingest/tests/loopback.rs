@@ -50,6 +50,7 @@ fn gateway(plan: &BandPlan) -> Gateway {
             ..OverloadConfig::drop_oldest()
         },
     })
+    .expect("valid config")
 }
 
 fn capture(seed: u64) -> (BandPlan, WidebandCapture) {

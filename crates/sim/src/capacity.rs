@@ -20,7 +20,10 @@ use cic::CicConfig;
 use lora_channel::stream::{StreamConfig, StreamedScenario};
 use lora_channel::{BandPlan, Pacer};
 use lora_dsp::ChannelizerConfig;
-use lora_gateway::{Gateway, GatewayConfig, GatewaySnapshot, OverloadConfig, OverloadPolicy};
+use lora_gateway::{
+    ClusterConfig, ClusterSnapshot, Gateway, GatewayCluster, GatewayConfig, GatewaySnapshot,
+    OverloadConfig, OverloadPolicy,
+};
 
 /// One operating point of the campaign.
 #[derive(Debug, Clone)]
@@ -38,6 +41,11 @@ pub struct CapacitySpec {
     pub queue_capacity: usize,
     /// Overload policy for the run.
     pub policy: OverloadPolicy,
+    /// Gateway count: `1` runs the single wide gateway, `N > 1` splits
+    /// the band channel-contiguously across a [`GatewayCluster`] behind
+    /// the global merge watermark (broadcast routing — each shard
+    /// digitises the whole wideband stream and extracts its slice).
+    pub shards: usize,
 }
 
 /// What one operating point produced.
@@ -61,8 +69,13 @@ pub struct CapacityOutcome {
     /// Generator high-water mark ([`StreamedScenario::peak_resident_bytes`]).
     pub generator_peak_bytes: usize,
     /// Full gateway telemetry at the end of the run (latency percentiles,
-    /// shed/rung engagement, drop counters, …).
+    /// shed/rung engagement, drop counters, …). For a sharded run this is
+    /// the [`GatewaySnapshot::merged`] aggregate over all shards.
     pub snapshot: GatewaySnapshot,
+    /// Merge-tier telemetry of a sharded run (`spec.shards > 1`): the
+    /// per-shard snapshots plus cross-gateway dedup and global-watermark
+    /// counters. `None` for the single wide gateway.
+    pub cluster: Option<ClusterSnapshot>,
 }
 
 /// The channelizer layout matching a [`BandPlan`] (spacing derived from
@@ -104,25 +117,47 @@ pub fn gateway_config(spec: &CapacitySpec) -> GatewayConfig {
 /// scenario's ground truth count.
 pub fn run_point(spec: &CapacitySpec) -> CapacityOutcome {
     let mut scenario = StreamedScenario::new(spec.plan.clone(), spec.stream.clone());
-    let mut gw = Gateway::new(gateway_config(spec));
-    let rx = gw.subscribe(4096);
     let mut pacer = Pacer::new(spec.plan.wideband_rate_hz(), spec.speed);
 
     let t0 = Instant::now();
     let mut delivered_ok = 0u64;
     let mut samples = 0usize;
-    while let Some(chunk) = scenario.next_chunk(spec.chunk) {
-        samples += chunk.len();
-        gw.push(chunk);
-        pacer.wait_until_due(scenario.position());
+    let (snapshot, cluster) = if spec.shards > 1 {
+        let mut cl = GatewayCluster::new(ClusterConfig::channel_sharded(
+            gateway_config(spec),
+            spec.shards,
+        ))
+        .expect("capacity spec derives a valid cluster config");
+        while let Some(chunk) = scenario.next_chunk(spec.chunk) {
+            samples += chunk.len();
+            cl.push(chunk);
+            pacer.wait_until_due(scenario.position());
+            delivered_ok += cl.poll_packets().iter().filter(|p| p.packet.ok()).count() as u64;
+            // Ground truth must be drained as the stream advances — it is
+            // the only generator state that grows with traffic volume.
+            scenario.drain_truth();
+        }
+        let (rest, snap) = cl.finish();
+        delivered_ok += rest.iter().filter(|p| p.packet.ok()).count() as u64;
+        (snap.merged.clone(), Some(snap))
+    } else {
+        let mut gw = Gateway::new(gateway_config(spec))
+            .expect("capacity spec derives a valid gateway config");
+        let rx = gw.subscribe(4096);
+        while let Some(chunk) = scenario.next_chunk(spec.chunk) {
+            samples += chunk.len();
+            gw.push(chunk);
+            pacer.wait_until_due(scenario.position());
+            delivered_ok += rx.try_iter().filter(|p| p.packet.ok()).count() as u64;
+            // Ground truth must be drained as the stream advances — it is
+            // the only generator state that grows with traffic volume.
+            scenario.drain_truth();
+        }
+        let (rest, snapshot) = gw.finish();
+        delivered_ok += rest.iter().filter(|p| p.packet.ok()).count() as u64;
         delivered_ok += rx.try_iter().filter(|p| p.packet.ok()).count() as u64;
-        // Ground truth must be drained as the stream advances — it is the
-        // only generator state that grows with traffic volume.
-        scenario.drain_truth();
-    }
-    let (rest, snapshot) = gw.finish();
-    delivered_ok += rest.iter().filter(|p| p.packet.ok()).count() as u64;
-    delivered_ok += rx.try_iter().filter(|p| p.packet.ok()).count() as u64;
+        (snapshot, None)
+    };
     let wall_s = t0.elapsed().as_secs_f64();
 
     let offered = scenario.emitted();
@@ -138,6 +173,7 @@ pub fn run_point(spec: &CapacitySpec) -> CapacityOutcome {
         achieved_x_realtime: air_s / wall_s.max(1e-9),
         generator_peak_bytes: scenario.peak_resident_bytes(),
         snapshot,
+        cluster,
     }
 }
 
@@ -177,6 +213,7 @@ mod tests {
             speed: None,
             queue_capacity: 64,
             policy: OverloadPolicy::DropOldest,
+            shards: 1,
         }
     }
 
@@ -196,6 +233,35 @@ mod tests {
         assert!(out.generator_peak_bytes > 0);
         // The campaign's headline telemetry is present.
         assert!(out.snapshot.decode_percentiles.p99_ns >= out.snapshot.decode_percentiles.p50_ns);
+    }
+
+    #[test]
+    fn sharded_run_point_matches_the_wide_gateway() {
+        let mut spec = small_spec();
+        let single = run_point(&spec);
+        spec.shards = 2;
+        let sharded = run_point(&spec);
+
+        let cl = sharded
+            .cluster
+            .as_ref()
+            .expect("sharded run carries cluster telemetry");
+        assert_eq!(cl.shards.len(), 2);
+        assert_eq!(cl.global_watermark, u64::MAX, "finish opens the watermark");
+        // A channel-contiguous split is disjoint coverage: nothing for
+        // the merge tier to suppress.
+        assert_eq!(cl.cross_gateway_duplicates, 0);
+        // Identical channelizer slices ⇒ identical decode on a lightly
+        // loaded (no-drop) point.
+        assert_eq!(
+            sharded.delivered_ok, single.delivered_ok,
+            "sharding changed the decode set"
+        );
+        // Broadcast routing: the merged aggregate saw the stream once per
+        // shard; the outcome's sample count stays the streamed count.
+        assert_eq!(sharded.samples, single.samples);
+        assert_eq!(sharded.snapshot.samples_in, 2 * sharded.samples as u64);
+        assert!(single.cluster.is_none());
     }
 
     #[test]

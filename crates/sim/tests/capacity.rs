@@ -93,10 +93,11 @@ fn gateway_decode_set_equal_streamed_vs_batch() {
         speed: None,
         queue_capacity: 256, // ample: no overload interference
         policy: OverloadPolicy::DropOldest,
+        shards: 1,
     };
 
     let decode_set = |samples: &[lora_dsp::Cf32]| -> Vec<(usize, u8, Vec<u8>)> {
-        let mut gw = Gateway::new(gateway_config(&spec));
+        let mut gw = Gateway::new(gateway_config(&spec)).expect("valid config");
         for c in samples.chunks(chunk) {
             gw.push(c);
         }
@@ -150,6 +151,7 @@ fn run_point_generator_memory_flat_in_node_count() {
             speed: None,
             queue_capacity: 64,
             policy: OverloadPolicy::DropOldest,
+            shards: 1,
         })
     };
 

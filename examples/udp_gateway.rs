@@ -88,7 +88,8 @@ fn main() {
         cic: CicConfig::default(),
         queue_capacity: 1024,
         overload: OverloadConfig::drop_oldest(),
-    });
+    })
+    .expect("valid gateway config");
 
     // The driver thread owns the gateway; we just consume packets.
     let sub = IngestDriver::spawn(gateway, source, IngestConfig::default());
