@@ -43,6 +43,7 @@ struct Opts {
     speed: Option<f64>,
     seed: u64,
     shards: usize,
+    channels: usize,
     out: String,
 }
 
@@ -51,10 +52,13 @@ fn usage(msg: &str) -> ! {
         "error: {msg}\n\
          usage: capacity_bench [--nodes <n,n,...>] [--deployments <D1,D2,...>]\n\
          \x20                     [--duration <s>] [--interval <s>] [--speed <x>]\n\
-         \x20                     [--seed <n>] [--shards <n>] [--out <path>]\n\
+         \x20                     [--seed <n>] [--shards <n>] [--channels <n>]\n\
+         \x20                     [--out <path>]\n\
          defaults: nodes 1000,10000,100000; deployments D1,D2,D3,D4;\n\
          duration 60s; interval 300s; speed 1 (real time; 0 = unpaced);\n\
-         seed 17; shards 1 (N>1 = channel-sharded gateway cluster);\n\
+         seed 17; shards 1 (N>1 = channel-sharded threaded gateway cluster,\n\
+         with a sequential comparison run for cluster_speedup);\n\
+         channels 2 (2, 4 or 8; decimation scales with the band);\n\
          out BENCH_capacity.json"
     );
     std::process::exit(2)
@@ -76,6 +80,7 @@ fn parse_opts() -> Opts {
         speed: Some(1.0),
         seed: 17,
         shards: 1,
+        channels: 2,
         out: "BENCH_capacity.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -139,6 +144,14 @@ fn parse_opts() -> Opts {
                     usage("--shards must be at least 1");
                 }
             }
+            "--channels" => {
+                o.channels = next("--channels")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--channels needs an integer"));
+                if ![2, 4, 8].contains(&o.channels) {
+                    usage("--channels must be 2, 4 or 8");
+                }
+            }
             "--out" => o.out = next("--out"),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -153,7 +166,10 @@ fn main() {
         "city-scale streamed capacity campaign (PDR / goodput / tail latency vs node count)",
     );
 
-    let plan = BandPlan::uniform(2, 250e3, 500e3, 2, 2);
+    // Decimation scales with the channel count so the wideband rate
+    // (500 kHz × D) always covers the outermost channel's passband:
+    // 2 ch → 1 MHz, 4 ch → 2 MHz, 8 ch → 4 MHz.
+    let plan = BandPlan::uniform(opts.channels, 250e3, 500e3, 2, opts.channels);
     if opts.shards > plan.n_channels() {
         usage(&format!(
             "--shards {} exceeds the band's {} channels",
@@ -194,9 +210,20 @@ fn main() {
                 queue_capacity: QUEUE_CAPACITY,
                 policy: OverloadPolicy::Adaptive,
                 shards: opts.shards,
+                threaded: opts.shards > 1,
             };
             let offered_pps = n_nodes as f64 / opts.interval_s;
             let out = run_point(&spec);
+            // Sharded points also run the sequential cluster on the same
+            // stream: the decode set is identical by construction, so the
+            // wall-clock ratio isolates what the per-shard threads buy.
+            let cluster_speedup = (opts.shards > 1).then(|| {
+                let seq = run_point(&CapacitySpec {
+                    threaded: false,
+                    ..spec.clone()
+                });
+                seq.wall_s / out.wall_s.max(1e-9)
+            });
             let s = &out.snapshot;
             println!(
                 "{} {:>7} nodes ({:>6.1} pps): PDR {:.3} ({}/{}), goodput {:>8.1} b/s, \
@@ -220,10 +247,17 @@ fn main() {
             if let Some(cl) = &out.cluster {
                 println!(
                     "        cluster: {} shards, {} packets merged, \
-                     {} cross-gateway duplicates suppressed",
+                     {} cross-gateway duplicates suppressed, \
+                     {:.2}x vs sequential, shard rates {} Msps",
                     cl.shards.len(),
                     cl.packets_merged,
                     cl.cross_gateway_duplicates,
+                    cluster_speedup.unwrap_or(1.0),
+                    out.shard_msamples_s
+                        .iter()
+                        .map(|r| format!("{r:.1}"))
+                        .collect::<Vec<_>>()
+                        .join("/"),
                 );
             }
             let mut row = json_object! {
@@ -257,12 +291,29 @@ fn main() {
                 if let JsonValue::Object(pairs) = &mut row {
                     pairs.push(("shards".to_string(), JsonValue::Num(opts.shards as f64)));
                     pairs.push((
+                        "n_channels".to_string(),
+                        JsonValue::Num(plan.n_channels() as f64),
+                    ));
+                    pairs.push((
                         "cross_gateway_duplicates".to_string(),
                         JsonValue::Num(cl.cross_gateway_duplicates as f64),
                     ));
                     pairs.push((
                         "packets_merged".to_string(),
                         JsonValue::Num(cl.packets_merged as f64),
+                    ));
+                    pairs.push((
+                        "shard_msamples_s".to_string(),
+                        JsonValue::Array(
+                            out.shard_msamples_s
+                                .iter()
+                                .map(|&r| JsonValue::Num(r))
+                                .collect(),
+                        ),
+                    ));
+                    pairs.push((
+                        "cluster_speedup".to_string(),
+                        JsonValue::Num(cluster_speedup.unwrap_or(1.0)),
                     ));
                 }
             }

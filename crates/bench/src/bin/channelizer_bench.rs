@@ -10,12 +10,19 @@
 //! noise). CI smoke-runs this, validates the schema, and fails if the
 //! vectorised path regresses below the scalar baseline on any plan.
 //!
+//! A final sliced-plan row measures what a cluster shard actually runs:
+//! a polyphase channelizer built over its 2-channel slice of an
+//! 8-channel band, against the full-band direct path a slice-unaware
+//! front end would have to run. Its `scalar_msps` slot holds the
+//! full-direct baseline and `vectorized_msps` the sliced polyphase, so
+//! the shared speedup gate applies unchanged.
+//!
 //! Usage: `channelizer_bench [--samples <n>] [--reps <n>] [--chunk <n>]
 //! [--out <path>]`
 
 use std::time::Instant;
 
-use lora_dsp::channelizer::{scalar, ChannelizerConfig};
+use lora_dsp::channelizer::{direct, scalar, ChannelizerConfig};
 use lora_dsp::{Cf32, Channelizer};
 use lora_sim::{json_object, JsonValue};
 use rand::rngs::StdRng;
@@ -169,6 +176,72 @@ fn main() {
             "wideband_rate_hz" => cfg.wideband_rate_hz,
             "scalar_msps" => scalar_msps,
             "vectorized_msps" => vectorized_msps,
+            "speedup" => speedup,
+        });
+    }
+
+    // Sliced-plan axis: a shard owning channels {2, 5} of the 8-channel
+    // band builds its polyphase channelizer over just that slice; the
+    // baseline is the full 8-channel *direct* path (the pre-polyphase
+    // production code) over the same capture. The slice should win by
+    // roughly the coverage ratio — the acceptance floor is 1.5×.
+    {
+        let full = ChannelizerConfig::uniform(8, 250e3, 500e3, 1e6, 4);
+        let slice_idx = [2usize, 5];
+        let sliced = ChannelizerConfig {
+            offsets_hz: slice_idx.iter().map(|&i| full.offsets_hz[i]).collect(),
+            ..full.clone()
+        };
+        let x = capture(&full, opts.samples);
+        let msamples = opts.samples as f64 / 1e6;
+
+        let mut best_full = f64::INFINITY;
+        let mut best_slice = f64::INFINITY;
+        let mut sum_full = 0.0;
+        let mut sum_slice = 0.0;
+        for _ in 0..opts.reps {
+            let mut d = direct::Channelizer::new(full.clone());
+            // Only the slice's channels count toward the checksum, so the
+            // two paths compute comparable numbers.
+            let t0 = Instant::now();
+            let mut ck = 0.0f64;
+            for c in x.chunks(opts.chunk) {
+                let outs = d.process(c);
+                for &i in &slice_idx {
+                    ck += outs[i].iter().map(|s| s.norm_sqr() as f64).sum::<f64>();
+                }
+            }
+            best_full = best_full.min(t0.elapsed().as_secs_f64());
+            sum_full = ck;
+
+            let mut p = Channelizer::new(sliced.clone());
+            let (dt, ck) = run(&x, opts.chunk, |c| p.process(c));
+            best_slice = best_slice.min(dt);
+            sum_slice = ck;
+        }
+        let rel = (sum_full - sum_slice).abs() / sum_full.max(1e-12);
+        assert!(
+            rel < 1e-4,
+            "slice: implementations disagree (checksums {sum_full:.6e} vs {sum_slice:.6e})"
+        );
+
+        let full_direct_msps = msamples / best_full;
+        let sliced_msps = msamples / best_slice;
+        let speedup = sliced_msps / full_direct_msps;
+        println!(
+            "{:>9} ({} taps, D={}): full-direct {full_direct_msps:7.2} Msps, \
+             sliced poly {sliced_msps:7.2} Msps, speedup {speedup:.2}x",
+            "2of8-slice", full.num_taps, full.decimation,
+        );
+        rows.push(json_object! {
+            "plan" => "2of8-slice",
+            "n_channels" => sliced.n_channels(),
+            "slice_of" => full.n_channels(),
+            "num_taps" => full.num_taps,
+            "decimation" => full.decimation,
+            "wideband_rate_hz" => full.wideband_rate_hz,
+            "scalar_msps" => full_direct_msps,
+            "vectorized_msps" => sliced_msps,
             "speedup" => speedup,
         });
     }

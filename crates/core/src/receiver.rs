@@ -270,6 +270,9 @@ impl CicReceiver {
         let sps = self.params.samples_per_symbol();
         let modulator = lora_phy::modulate::Modulator::new(self.params);
         residual.load(capture);
+        // The buffer's cache counters are cumulative across its
+        // lifetime; this call's report carries only the delta.
+        let (hits_before, misses_before) = residual.cache_counters();
         // Which packets have already been offered for subtraction
         // (index-parallel with `packets`; order is only normalized after
         // the loop).
@@ -344,6 +347,9 @@ impl CicReceiver {
                 break;
             }
         }
+        let (hits, misses) = residual.cache_counters();
+        report.ref_cache_hits = hits - hits_before;
+        report.ref_cache_misses = misses - misses_before;
         packets.sort_by_key(|p| p.detection.frame_start);
         report
     }

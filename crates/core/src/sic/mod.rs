@@ -89,6 +89,11 @@ pub struct SicReport {
     pub recovered: u64,
     /// Subtractions abandoned because the fit failed the match gate.
     pub abandoned: u64,
+    /// Reference regenerations served from the waveform cache (the same
+    /// packet re-offered on a later streaming push or pass).
+    pub ref_cache_hits: u64,
+    /// Reference waveforms that had to be modulated from scratch.
+    pub ref_cache_misses: u64,
 }
 
 impl SicReport {
@@ -97,6 +102,8 @@ impl SicReport {
         self.passes += other.passes;
         self.recovered += other.recovered;
         self.abandoned += other.abandoned;
+        self.ref_cache_hits += other.ref_cache_hits;
+        self.ref_cache_misses += other.ref_cache_misses;
     }
 }
 
@@ -116,18 +123,24 @@ mod tests {
             passes: 1,
             recovered: 2,
             abandoned: 0,
+            ref_cache_hits: 4,
+            ref_cache_misses: 1,
         };
         a.absorb(SicReport {
             passes: 2,
             recovered: 1,
             abandoned: 3,
+            ref_cache_hits: 1,
+            ref_cache_misses: 2,
         });
         assert_eq!(
             a,
             SicReport {
                 passes: 3,
                 recovered: 3,
-                abandoned: 3
+                abandoned: 3,
+                ref_cache_hits: 5,
+                ref_cache_misses: 3,
             }
         );
     }

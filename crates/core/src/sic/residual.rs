@@ -12,6 +12,14 @@
 //! packets that were buried. A buffer is *not* kept across captures:
 //! the streaming receiver reloads it from its bounded window every
 //! push, so eviction stays the window's concern.
+//!
+//! Because the streaming receiver re-offers the same decoded packets on
+//! consecutive pushes (a packet stays inside the retained window for
+//! several chunks), the buffer memoizes regenerated reference waveforms
+//! keyed by packet identity (symbols + quantized CFO). The cached copy
+//! is the *pristine* modulated frame — [`refine`] adjusts its timing and
+//! residual CFO in place against the current residual, so every hit
+//! restores the untouched waveform before refinement runs.
 
 use lora_dsp::Cf32;
 use lora_phy::modulate::Modulator;
@@ -36,11 +44,30 @@ pub enum CancelOutcome {
     Abandoned,
 }
 
+/// How many distinct packet references the cache retains. Sized to the
+/// packets plausibly alive in one streaming window (a handful per SF at
+/// CIC's collision depths); beyond that, move-to-front eviction drops
+/// the least recently offered packet.
+const REF_CACHE_CAPACITY: usize = 16;
+
+/// One memoized pristine reference waveform.
+#[derive(Debug)]
+struct CachedReference {
+    sf: u8,
+    cfo_bits: u64,
+    symbols: Vec<usize>,
+    wave: Vec<Cf32>,
+}
+
 /// Reusable arena for the residual-cancellation pass.
 #[derive(Debug, Default)]
 pub struct ResidualBuffer {
     residual: Vec<Cf32>,
     reference: Vec<Cf32>,
+    /// Most-recently-used first; bounded by [`REF_CACHE_CAPACITY`].
+    cache: Vec<CachedReference>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl ResidualBuffer {
@@ -81,8 +108,7 @@ impl ResidualBuffer {
         cfg: &SicConfig,
     ) -> CancelOutcome {
         let params = *modulator.params();
-        modulator.frame_waveform_into(symbols, &mut self.reference);
-        lora_phy::chirp::apply_cfo(&params, &mut self.reference, cfo_bins * params.bin_hz(), 0);
+        self.regenerate(modulator, symbols, cfo_bins);
         let Some(est) = refine(
             &params,
             &self.residual,
@@ -107,6 +133,46 @@ impl ResidualBuffer {
         CancelOutcome::Cancelled {
             reduction_db: lora_dsp::math::db(e_before / e_after.max(f64::MIN_POSITIVE)),
         }
+    }
+
+    /// Fill `self.reference` with the packet's pristine modulated frame,
+    /// serving repeats from the cache. On a miss the frame is modulated,
+    /// CFO-rotated, and a copy stored before [`refine`] gets to mutate
+    /// the working buffer.
+    fn regenerate(&mut self, modulator: &Modulator, symbols: &[usize], cfo_bins: f64) {
+        let params = *modulator.params();
+        let cfo_bits = cfo_bins.to_bits();
+        if let Some(i) = self.cache.iter().position(|e| {
+            e.sf == params.sf().value() && e.cfo_bits == cfo_bits && e.symbols == symbols
+        }) {
+            self.reference.clear();
+            self.reference.extend_from_slice(&self.cache[i].wave);
+            // Move-to-front so the working set of a window stays resident.
+            let entry = self.cache.remove(i);
+            self.cache.insert(0, entry);
+            self.cache_hits += 1;
+            return;
+        }
+        modulator.frame_waveform_into(symbols, &mut self.reference);
+        lora_phy::chirp::apply_cfo(&params, &mut self.reference, cfo_bins * params.bin_hz(), 0);
+        self.cache.insert(
+            0,
+            CachedReference {
+                sf: params.sf().value(),
+                cfo_bits,
+                symbols: symbols.to_vec(),
+                wave: self.reference.clone(),
+            },
+        );
+        self.cache.truncate(REF_CACHE_CAPACITY);
+        self.cache_misses += 1;
+    }
+
+    /// Cumulative (hits, misses) of the reference-waveform cache over
+    /// the buffer's lifetime. Callers that report per-call deltas should
+    /// snapshot before and after.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 }
 
@@ -171,6 +237,70 @@ mod tests {
             before,
             "abandoned cancel must not touch samples"
         );
+    }
+
+    #[test]
+    fn repeated_cancellation_hits_the_reference_cache() {
+        let p = params();
+        let m = Modulator::new(p);
+        let symbols: Vec<usize> = (0..24).map(|i| (i * 91) % 256).collect();
+        let mut wave = m.frame_waveform(&symbols);
+        apply_cfo(&p, &mut wave, 0.4 * p.bin_hz(), 0);
+        let mut cap = vec![Cf32::new(0.0, 0.0); wave.len() + 4000];
+        for (c, w) in cap[1500..].iter_mut().zip(&wave) {
+            *c += 0.7 * *w;
+        }
+        let cfg = SicConfig {
+            depth: 1,
+            ..SicConfig::default()
+        };
+        let mut buf = ResidualBuffer::new();
+        // Same packet offered across two streaming pushes: one miss,
+        // then a hit — and the hit must cancel just as cleanly, because
+        // refine() only ever mutates the working copy.
+        for push in 0..2 {
+            buf.load(&cap);
+            match buf.cancel(&m, &symbols, 1502, 0.35, &cfg) {
+                CancelOutcome::Cancelled { reduction_db } => {
+                    assert!(
+                        reduction_db >= 40.0,
+                        "push {push}: only {reduction_db:.1} dB"
+                    );
+                }
+                other => panic!("push {push}: expected cancellation, got {other:?}"),
+            }
+        }
+        assert_eq!(buf.cache_counters(), (1, 2 - 1));
+        // A different packet identity is a miss, not a false hit.
+        let other: Vec<usize> = (0..24).map(|i| (i * 7 + 3) % 256).collect();
+        buf.load(&cap);
+        buf.cancel(&m, &other, 1502, 0.35, &cfg);
+        assert_eq!(buf.cache_counters(), (1, 2));
+        // Same symbols at a different CFO is a different waveform.
+        buf.load(&cap);
+        buf.cancel(&m, &symbols, 1502, 0.36, &cfg);
+        assert_eq!(buf.cache_counters(), (1, 3));
+    }
+
+    #[test]
+    fn reference_cache_is_bounded() {
+        let p = params();
+        let m = Modulator::new(p);
+        let cfg = SicConfig {
+            depth: 1,
+            ..SicConfig::default()
+        };
+        let cap = vec![Cf32::new(0.0, 0.0); 60_000];
+        let mut buf = ResidualBuffer::new();
+        buf.load(&cap);
+        for k in 0..REF_CACHE_CAPACITY + 4 {
+            let symbols: Vec<usize> = (0..8).map(|i| (i * 13 + k) % 256).collect();
+            buf.cancel(&m, &symbols, 1000, 0.0, &cfg);
+        }
+        assert!(buf.cache.len() <= REF_CACHE_CAPACITY);
+        let (hits, misses) = buf.cache_counters();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, (REF_CACHE_CAPACITY + 4) as u64);
     }
 
     #[test]

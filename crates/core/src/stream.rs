@@ -555,6 +555,14 @@ mod tests {
         );
         let report = s.sic_report();
         assert!(report.passes >= 1 && report.recovered >= 1, "{report:?}");
+        // The strong packet sits in the retained window across several
+        // pushes, so all but its first subtraction must reuse the cached
+        // reference waveform instead of re-modulating the frame.
+        assert!(
+            report.ref_cache_hits >= 1,
+            "repeat offers across pushes should hit the cache: {report:?}"
+        );
+        assert!(report.ref_cache_misses >= 1, "{report:?}");
     }
 
     #[test]

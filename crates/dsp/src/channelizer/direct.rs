@@ -1,0 +1,232 @@
+//! Direct-form vectorised channelizer: the former production path, kept
+//! as the equivalence oracle for the polyphase implementation in the
+//! parent module.
+//!
+//! Per-channel history lives in planar re/im `f32` buffers, the NCO is
+//! the shared complex-rotator recurrence, and each output instant is a
+//! single contiguous dot-product sweep of the *full* prototype over the
+//! mixed history ([`super::kernel::fir_dot`]). The polyphase path
+//! computes the same sums branch-by-branch; only the floating-point
+//! accumulation order differs, which is why the equivalence suite
+//! compares the two at 1e-5 RMS rather than bit-exactly.
+
+use crate::Cf32;
+
+use super::kernel;
+use super::{lowpass_taps, ChannelizerConfig, Nco};
+
+/// Per-channel streaming state: rotator NCO plus the planar mixed-down
+/// history the FIR windows slide over.
+struct ChannelState {
+    nco: Nco,
+    /// Real plane of the mixed history: `re[i]` is the real part of the
+    /// mixed sample at absolute wideband index `base + i`. Seeded with
+    /// `num_taps − 1` zeros so the filter is causal from the first
+    /// sample.
+    re: Vec<f32>,
+    /// Imaginary plane, same indexing as `re`.
+    im: Vec<f32>,
+    /// Absolute wideband index of `re[0]`/`im[0]` (negative during the
+    /// seed zeros).
+    base: i64,
+    /// Absolute wideband index of the next output instant (multiple of D).
+    next_out: i64,
+}
+
+/// Streaming wideband → per-channel splitter, direct form. Same contract
+/// as [`super::Channelizer`]; see the module docs there.
+pub struct Channelizer {
+    config: ChannelizerConfig,
+    taps: Vec<f32>,
+    /// `taps` reversed, so the convolution at one output instant is a
+    /// forward dot product over a contiguous window of the history
+    /// planes. (The Hamming windowed-sinc prototype is symmetric, but the
+    /// hot loop must not depend on that.)
+    taps_rev: Vec<f32>,
+    channels: Vec<ChannelState>,
+    flushed: bool,
+}
+
+impl Channelizer {
+    /// Build a channelizer (designs the FIR prototype once, shared by all
+    /// channels).
+    pub fn new(config: ChannelizerConfig) -> Self {
+        let taps = lowpass_taps(config.num_taps, config.cutoff_hz / config.wideband_rate_hz);
+        let taps_rev: Vec<f32> = taps.iter().rev().copied().collect();
+        let channels = config
+            .offsets_hz
+            .iter()
+            .map(|&off| ChannelState {
+                nco: Nco::new(-off / config.wideband_rate_hz),
+                re: vec![0.0; config.num_taps - 1],
+                im: vec![0.0; config.num_taps - 1],
+                base: -(config.num_taps as i64 - 1),
+                next_out: 0,
+            })
+            .collect();
+        Self {
+            config,
+            taps,
+            taps_rev,
+            channels,
+            flushed: false,
+        }
+    }
+
+    /// The channel plan this channelizer was built from.
+    pub fn config(&self) -> &ChannelizerConfig {
+        &self.config
+    }
+
+    /// Group delay of the channel filter, in *wideband* samples.
+    pub fn group_delay_wideband(&self) -> usize {
+        (self.config.num_taps - 1) / 2
+    }
+
+    /// Feed a chunk of wideband samples; returns the newly produced
+    /// baseband samples of every channel (possibly empty for short
+    /// chunks). Chunk boundaries never change the output stream.
+    pub fn process(&mut self, chunk: &[Cf32]) -> Vec<Vec<Cf32>> {
+        assert!(
+            !self.flushed,
+            "Channelizer::process called after flush(); build a new channelizer for a new stream"
+        );
+        self.process_inner(chunk)
+    }
+
+    fn process_inner(&mut self, chunk: &[Cf32]) -> Vec<Vec<Cf32>> {
+        let d = self.config.decimation as i64;
+        let n_taps = self.taps.len();
+        let mut out = Vec::with_capacity(self.channels.len());
+        for ch in &mut self.channels {
+            // Mix the chunk down once per channel into the planar
+            // history: one rotator multiply per sample, no trig.
+            ch.re.reserve(chunk.len());
+            ch.im.reserve(chunk.len());
+            for &x in chunk {
+                let r = ch.nco.next();
+                ch.re.push(x.re * r.re - x.im * r.im);
+                ch.im.push(x.re * r.im + x.im * r.re);
+            }
+            // Dot the FIR against the planes at each ready output instant
+            // (no dot products at the D-1 instants between outputs). The
+            // window index is hoisted: consecutive outputs slide it by D,
+            // so the inner loop is a straight contiguous multiply-add
+            // sweep.
+            let buf_end = ch.base + ch.re.len() as i64;
+            let mut produced = Vec::new();
+            if ch.next_out < buf_end {
+                produced.reserve(((buf_end - 1 - ch.next_out) / d + 1) as usize);
+                let mut lo = (ch.next_out - n_taps as i64 + 1 - ch.base) as usize;
+                while ch.next_out < buf_end {
+                    let (re, im) = kernel::fir_dot(
+                        &self.taps_rev,
+                        &ch.re[lo..lo + n_taps],
+                        &ch.im[lo..lo + n_taps],
+                    );
+                    produced.push(Cf32::new(re, im));
+                    ch.next_out += d;
+                    lo += d as usize;
+                }
+            }
+            // Drop history the next output can no longer reach.
+            let keep_from = (ch.next_out - n_taps as i64 + 1 - ch.base).max(0) as usize;
+            if keep_from > 0 {
+                ch.re.drain(..keep_from);
+                ch.im.drain(..keep_from);
+                ch.base += keep_from as i64;
+            }
+            out.push(produced);
+        }
+        out
+    }
+
+    /// End of stream: feed the filter's group delay worth of zeros and
+    /// return the remaining output samples of every channel. Idempotent;
+    /// [`Channelizer::process`] must not be called afterwards.
+    pub fn flush(&mut self) -> Vec<Vec<Cf32>> {
+        if self.flushed {
+            return vec![Vec::new(); self.channels.len()];
+        }
+        self.flushed = true;
+        let zeros = vec![Cf32::new(0.0, 0.0); self.group_delay_wideband()];
+        self.process_inner(&zeros)
+    }
+
+    /// Channelize a whole capture in one call, including the group-delay
+    /// tail ([`Channelizer::flush`]).
+    pub fn process_all(&mut self, samples: &[Cf32]) -> Vec<Vec<Cf32>> {
+        let mut out = self.process(samples);
+        for (o, tail) in out.iter_mut().zip(self.flush()) {
+            o.extend(tail);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(rate: f64, freq: f64, amp: f32, n: usize) -> Vec<Cf32> {
+        (0..n)
+            .map(|i| {
+                let ang = (std::f64::consts::TAU * freq * i as f64 / rate) as f32;
+                Cf32::new(ang.cos(), ang.sin()) * amp
+            })
+            .collect()
+    }
+
+    fn rms(x: &[Cf32]) -> f64 {
+        (x.iter().map(|c| c.norm_sqr() as f64).sum::<f64>() / x.len().max(1) as f64).sqrt()
+    }
+
+    fn paper_plan() -> ChannelizerConfig {
+        ChannelizerConfig::uniform(4, 250e3, 500e3, 1e6, 4)
+    }
+
+    #[test]
+    fn tone_passes_own_channel_at_unit_gain() {
+        let cfg = paper_plan();
+        let mut ch = Channelizer::new(cfg.clone());
+        let x = tone(cfg.wideband_rate_hz, cfg.offsets_hz[2] + 50e3, 1.0, 40_000);
+        let outs = ch.process(&x);
+        let settle = cfg.num_taps;
+        let own = rms(&outs[2][settle..]);
+        assert!((own - 1.0).abs() < 0.05, "passband gain {own}");
+    }
+
+    #[test]
+    fn chunked_processing_matches_one_shot() {
+        let cfg = paper_plan();
+        let x = tone(cfg.wideband_rate_hz, cfg.offsets_hz[1] + 40e3, 0.7, 10_000);
+        let whole = Channelizer::new(cfg.clone()).process(&x);
+        let mut chunked = Channelizer::new(cfg.clone());
+        let mut acc: Vec<Vec<Cf32>> = vec![Vec::new(); cfg.n_channels()];
+        let sizes = [1usize, 3, 0, 17, 64, 5, 1000, 2, 9000];
+        let mut pos = 0;
+        let mut si = 0;
+        while pos < x.len() {
+            let n = sizes[si % sizes.len()].min(x.len() - pos);
+            si += 1;
+            for (a, o) in acc.iter_mut().zip(chunked.process(&x[pos..pos + n])) {
+                a.extend(o);
+            }
+            pos += n;
+        }
+        for (w, c) in whole.iter().zip(&acc) {
+            assert_eq!(w, c, "chunking changed the output stream");
+        }
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let cfg = paper_plan();
+        let mut ch = Channelizer::new(cfg.clone());
+        ch.process(&vec![Cf32::new(0.3, -0.1); 5000]);
+        let first = ch.flush();
+        assert!(first.iter().any(|o| !o.is_empty()));
+        let second = ch.flush();
+        assert!(second.iter().all(|o| o.is_empty()));
+    }
+}

@@ -4,9 +4,12 @@
 //! Each channel applies (1) a complex NCO mixing the channel's carrier
 //! offset down to 0 Hz, (2) a low-pass windowed-sinc FIR confining the
 //! channel, and (3) decimation by the ratio of wideband to channel sample
-//! rate. The FIR is evaluated *only at the decimated output instants* —
-//! the polyphase fast path — so the per-channel cost is `taps / D`
-//! multiplies per wideband sample rather than `taps`.
+//! rate. The FIR is evaluated *only at the decimated output instants*,
+//! so the per-channel cost is `taps / D` multiplies per wideband sample
+//! rather than `taps` — and a channelizer built over a channel *subset*
+//! (a cluster shard's slice of the band) does only the work for that
+//! subset, because every per-channel structure below is sized by
+//! `offsets_hz`.
 //!
 //! The channelizer is streaming: [`Channelizer::process`] may be called
 //! with arbitrary chunk sizes and produces exactly the same output
@@ -16,20 +19,30 @@
 //! `(num_taps − 1) / 2` wideband samples of content reach the output
 //! (without it, a packet ending at capture end loses its final symbols).
 //!
-//! Two implementations share this contract:
+//! Three implementations share this contract:
 //!
-//! * [`Channelizer`] — the production path. Per-channel history lives in
-//!   planar re/im `f32` buffers, the NCO is a complex-rotator recurrence
-//!   in f64 (one `sin`/`cos` pair every [`RENORM_INTERVAL`] samples
-//!   instead of one per sample), the mix is computed once per channel,
-//!   and each output instant is a straight contiguous dot-product sweep
-//!   over the planes ([`kernel::fir_dot`], autovectorised on stable
-//!   Rust).
-//! * [`scalar::Channelizer`] — the original per-sample `sin`/`cos` +
-//!   interleaved-complex implementation, kept as the reference the
-//!   vectorised path is equivalence-tested against
+//! * [`Channelizer`] — the production path: a true polyphase
+//!   decomposition of the prototype into D sub-filters. The length-T
+//!   prototype `h` is split by tap index mod D into branches
+//!   `h_r[q] = h[qD + r]`, and the decimated output at instant `sD` is
+//!   `y[s] = Σ_r Σ_q h_r[q] · b_r[s − q]` where the branch stream
+//!   `b_r[u] = m[uD − r]` holds every D-th mixed sample. One commutator
+//!   pass deposits each mixed wideband sample into exactly one branch
+//!   (branch `r = (D − n mod D) mod D` at branch position
+//!   `u = (n + r) / D`), after which each output is D short contiguous
+//!   planar dot products ([`kernel::fir_dot`]) at the *decimated* rate,
+//!   summed in fixed branch order. Branch histories are planar re/im
+//!   `f32` planes; the NCO is a complex-rotator recurrence in f64 (one
+//!   `sin`/`cos` pair every [`RENORM_INTERVAL`] samples).
+//! * [`direct::Channelizer`] — the former production path (full-prototype
+//!   contiguous dot per output instant), kept as the equivalence oracle:
+//!   it computes the identical sums in a different floating-point
+//!   association, so the two agree to ≤ 1e-5 RMS
 //!   (`crates/dsp/tests/channelizer_equivalence.rs`).
+//! * [`scalar::Channelizer`] — the original per-sample `sin`/`cos` +
+//!   interleaved-complex implementation, the semantic reference.
 
+pub mod direct;
 pub mod kernel;
 pub mod scalar;
 
@@ -201,59 +214,91 @@ impl Nco {
     }
 }
 
-/// Per-channel streaming state: rotator NCO plus the planar mixed-down
-/// history the FIR windows slide over.
-struct ChannelState {
-    nco: Nco,
-    /// Real plane of the mixed history: `re[i]` is the real part of the
-    /// mixed sample at absolute wideband index `base + i`. Seeded with
-    /// `num_taps − 1` zeros so the filter is causal from the first
-    /// sample.
+/// One polyphase branch of one channel: the sub-filter
+/// `h_r[q] = h[qD + r]` and the planar history of its branch stream
+/// `b_r[u] = m[uD − r]`.
+struct Branch {
+    /// Sub-filter taps pre-reversed (`taps_rev[i] = h[(L−1−i)·D + r]`),
+    /// so the branch convolution is a forward contiguous dot. Empty when
+    /// `r >= num_taps` (possible only for `decimation > num_taps`); such
+    /// a branch receives no deposits and contributes nothing.
+    taps_rev: Vec<f32>,
+    /// Real plane of the branch history: `re[i]` holds
+    /// `Re(b_r[base + i])`.
     re: Vec<f32>,
     /// Imaginary plane, same indexing as `re`.
     im: Vec<f32>,
-    /// Absolute wideband index of `re[0]`/`im[0]` (negative during the
+    /// Absolute branch position of `re[0]`/`im[0]` (negative during the
     /// seed zeros).
     base: i64,
-    /// Absolute wideband index of the next output instant (multiple of D).
-    next_out: i64,
 }
 
-/// Streaming wideband → per-channel splitter. See the module docs.
+/// Per-channel streaming state: rotator NCO plus the D polyphase branch
+/// histories the commutator feeds.
+struct ChannelState {
+    nco: Nco,
+    branches: Vec<Branch>,
+    /// Next output index `s` (output instant = `s·D` in wideband samples).
+    next_out_s: i64,
+}
+
+/// Streaming wideband → per-channel splitter, polyphase form. See the
+/// module docs.
 pub struct Channelizer {
     config: ChannelizerConfig,
-    taps: Vec<f32>,
-    /// `taps` reversed, so the convolution at one output instant is a
-    /// forward dot product over a contiguous window of the history
-    /// planes. (The Hamming windowed-sinc prototype is symmetric, but the
-    /// hot loop must not depend on that.)
-    taps_rev: Vec<f32>,
     channels: Vec<ChannelState>,
+    /// Absolute wideband index of the next input sample.
+    pos: i64,
     flushed: bool,
 }
 
 impl Channelizer {
-    /// Build a channelizer (designs the FIR prototype once, shared by all
-    /// channels).
+    /// Build a channelizer (designs the FIR prototype once and splits it
+    /// into the D polyphase sub-filters, shared layout for all channels).
     pub fn new(config: ChannelizerConfig) -> Self {
         let taps = lowpass_taps(config.num_taps, config.cutoff_hz / config.wideband_rate_hz);
-        let taps_rev: Vec<f32> = taps.iter().rev().copied().collect();
+        let d = config.decimation;
+        let t = config.num_taps;
         let channels = config
             .offsets_hz
             .iter()
             .map(|&off| ChannelState {
                 nco: Nco::new(-off / config.wideband_rate_hz),
-                re: vec![0.0; config.num_taps - 1],
-                im: vec![0.0; config.num_taps - 1],
-                base: -(config.num_taps as i64 - 1),
-                next_out: 0,
+                branches: (0..d)
+                    .map(|r| {
+                        // Branch r takes prototype taps r, r+D, r+2D, …
+                        let len = if r < t { (t - r).div_ceil(d) } else { 0 };
+                        let taps_rev: Vec<f32> =
+                            (0..len).map(|i| taps[(len - 1 - i) * d + r]).collect();
+                        // Seed zeros so the branch window for output 0 is
+                        // fully in range: branch 0's first deposit lands
+                        // at branch position 0 (wideband sample 0),
+                        // branches r > 0 first deposit at position 1
+                        // (wideband sample D − r), so they seed one more
+                        // zero covering position 0 (= m[−r], before the
+                        // stream).
+                        let seed = if len == 0 {
+                            0
+                        } else if r == 0 {
+                            len - 1
+                        } else {
+                            len
+                        };
+                        Branch {
+                            re: vec![0.0; seed],
+                            im: vec![0.0; seed],
+                            base: 1 - len as i64,
+                            taps_rev,
+                        }
+                    })
+                    .collect(),
+                next_out_s: 0,
             })
             .collect();
         Self {
             config,
-            taps,
-            taps_rev,
             channels,
+            pos: 0,
             flushed: false,
         }
     }
@@ -283,49 +328,76 @@ impl Channelizer {
     }
 
     fn process_inner(&mut self, chunk: &[Cf32]) -> Vec<Vec<Cf32>> {
-        let d = self.config.decimation as i64;
-        let n_taps = self.taps.len();
+        let d = self.config.decimation;
+        let end = self.pos + chunk.len() as i64;
+        // Branch of the first chunk sample: wideband index n feeds branch
+        // (D − n mod D) mod D; successive samples walk the commutator
+        // backwards (r, r−1, …, 0, D−1, …).
+        let r0 = ((d as i64 - self.pos.rem_euclid(d as i64)) % d as i64) as usize;
         let mut out = Vec::with_capacity(self.channels.len());
         for ch in &mut self.channels {
-            // Mix the chunk down once per channel into the planar
-            // history: one rotator multiply per sample, no trig.
-            ch.re.reserve(chunk.len());
-            ch.im.reserve(chunk.len());
-            for &x in chunk {
-                let r = ch.nco.next();
-                ch.re.push(x.re * r.re - x.im * r.im);
-                ch.im.push(x.re * r.im + x.im * r.re);
-            }
-            // Dot the FIR against the planes at each ready output instant
-            // (this is the whole polyphase saving: no dot products at the
-            // D-1 instants between outputs). The window index is hoisted:
-            // consecutive outputs slide it by D, so the inner loop is a
-            // straight contiguous multiply-add sweep.
-            let buf_end = ch.base + ch.re.len() as i64;
-            let mut produced = Vec::new();
-            if ch.next_out < buf_end {
-                produced.reserve(((buf_end - 1 - ch.next_out) / d + 1) as usize);
-                let mut lo = (ch.next_out - n_taps as i64 + 1 - ch.base) as usize;
-                while ch.next_out < buf_end {
-                    let (re, im) = kernel::fir_dot(
-                        &self.taps_rev,
-                        &ch.re[lo..lo + n_taps],
-                        &ch.im[lo..lo + n_taps],
-                    );
-                    produced.push(Cf32::new(re, im));
-                    ch.next_out += d;
-                    lo += d as usize;
+            // One commutator pass: mix each wideband sample (one rotator
+            // multiply, no trig) and deposit it into its branch planes.
+            for b in &mut ch.branches {
+                if !b.taps_rev.is_empty() {
+                    b.re.reserve(chunk.len() / d + 2);
+                    b.im.reserve(chunk.len() / d + 2);
                 }
             }
-            // Drop history the next output can no longer reach.
-            let keep_from = (ch.next_out - n_taps as i64 + 1 - ch.base).max(0) as usize;
-            if keep_from > 0 {
-                ch.re.drain(..keep_from);
-                ch.im.drain(..keep_from);
-                ch.base += keep_from as i64;
+            let mut r = r0;
+            for &x in chunk {
+                let rot = ch.nco.next();
+                let b = &mut ch.branches[r];
+                if !b.taps_rev.is_empty() {
+                    b.re.push(x.re * rot.re - x.im * rot.im);
+                    b.im.push(x.re * rot.im + x.im * rot.re);
+                }
+                r = if r == 0 { d - 1 } else { r - 1 };
+            }
+            // Every output instant s·D < end is ready (its latest input,
+            // wideband sample s·D on branch 0, has been deposited): one
+            // short contiguous dot per branch at the decimated rate,
+            // summed in fixed branch order so any chunking produces
+            // bit-identical output.
+            let di = d as i64;
+            let mut produced = Vec::new();
+            if ch.next_out_s * di < end {
+                produced.reserve(((end - 1) / di - ch.next_out_s + 1) as usize);
+            }
+            while ch.next_out_s * di < end {
+                let s = ch.next_out_s;
+                let mut ore = 0.0f32;
+                let mut oim = 0.0f32;
+                for b in &ch.branches {
+                    let len = b.taps_rev.len();
+                    if len == 0 {
+                        continue;
+                    }
+                    let lo = (s - len as i64 + 1 - b.base) as usize;
+                    let (br, bi) =
+                        kernel::fir_dot(&b.taps_rev, &b.re[lo..lo + len], &b.im[lo..lo + len]);
+                    ore += br;
+                    oim += bi;
+                }
+                produced.push(Cf32::new(ore, oim));
+                ch.next_out_s += 1;
+            }
+            // Drop branch history the next output can no longer reach.
+            for b in &mut ch.branches {
+                let len = b.taps_rev.len() as i64;
+                if len == 0 {
+                    continue;
+                }
+                let keep_from = (ch.next_out_s - len + 1 - b.base).max(0) as usize;
+                if keep_from > 0 {
+                    b.re.drain(..keep_from);
+                    b.im.drain(..keep_from);
+                    b.base += keep_from as i64;
+                }
             }
             out.push(produced);
         }
+        self.pos = end;
         out
     }
 
@@ -387,6 +459,21 @@ mod tests {
         assert_eq!(cfg.wideband_rate_hz, 4e6);
         assert_eq!(cfg.channel_rate_hz(), 1e6);
         assert!(cfg.num_taps % 2 == 1);
+    }
+
+    #[test]
+    fn polyphase_branches_partition_the_prototype() {
+        // Every prototype tap appears in exactly one branch sub-filter,
+        // so the branch lengths sum to num_taps and the DC gains add to
+        // the prototype's unity DC gain.
+        let cfg = paper_plan();
+        let ch = Channelizer::new(cfg.clone());
+        let branches = &ch.channels[0].branches;
+        assert_eq!(branches.len(), cfg.decimation);
+        let total: usize = branches.iter().map(|b| b.taps_rev.len()).sum();
+        assert_eq!(total, cfg.num_taps);
+        let dc: f32 = branches.iter().flat_map(|b| &b.taps_rev).sum();
+        assert!((dc - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! Property-style equivalence: the vectorised channelizer and the scalar
-//! reference must agree within 1e-5 RMS on every channel, for every plan
-//! shape the workspace uses, under ragged chunk splits, and through the
-//! end-of-stream flush — and the vectorised path itself must be bit-exact
-//! across chunkings.
+//! Property-style equivalence: the production polyphase channelizer,
+//! the direct-form vectorised oracle and the scalar reference must agree
+//! within 1e-5 RMS on every channel, for every plan shape the workspace
+//! uses, under ragged chunk splits (including splits that straddle the
+//! NCO renormalisation interval), and through the end-of-stream flush —
+//! and the polyphase path itself must be bit-exact across chunkings. A
+//! channelizer built over a channel *slice* of a wider plan must
+//! reproduce the sliced channels of the full plan bit-for-bit.
 
-use lora_dsp::channelizer::{scalar, ChannelizerConfig};
+use lora_dsp::channelizer::{direct, scalar, ChannelizerConfig};
 use lora_dsp::{Cf32, Channelizer};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -102,6 +105,93 @@ const RAGGED: [&[usize]; 3] = [
     &[1, 3, 0, 17, 64, 5, 1000, 2, 9000],
     &[511, 513, 4096, 7, 997], // straddle the NCO renormalisation interval
 ];
+
+#[test]
+fn polyphase_matches_the_direct_oracle_within_1e5_rms() {
+    // The polyphase branches compute the same convolution sums as the
+    // direct full-prototype dot, associated differently — the two must
+    // track each other to well below f32 signal resolution for every
+    // plan shape (1-channel slice through dense 8-channel) and every
+    // ragged chunking, renorm-straddling splits included.
+    for (name, cfg) in plans() {
+        let x = test_signal(&cfg, 30_000, 0xD1DE + cfg.n_channels() as u64);
+        for (si, sizes) in RAGGED.iter().enumerate() {
+            let mut p = Channelizer::new(cfg.clone());
+            let mut o = direct::Channelizer::new(cfg.clone());
+            let got = run_chunked(
+                |c| match c {
+                    Some(c) => p.process(c),
+                    None => p.flush(),
+                },
+                cfg.n_channels(),
+                &x,
+                sizes,
+            );
+            let want = run_chunked(
+                |c| match c {
+                    Some(c) => o.process(c),
+                    None => o.flush(),
+                },
+                cfg.n_channels(),
+                &x,
+                sizes,
+            );
+            for (ch, (g, w)) in got.iter().zip(&want).enumerate() {
+                let rms = rms_diff(g, w);
+                assert!(
+                    rms <= 1e-5,
+                    "plan {name}, chunking {si}, channel {ch}: RMS {rms:.3e} vs direct"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sliced_plan_reproduces_the_full_plan_channels_bit_exactly() {
+    // A cluster shard channelizes only its slice of the band: same
+    // prototype, same rates, a subset of the offsets. Per-channel state
+    // is independent, so the sliced channelizer must emit the exact bits
+    // the full plan emits on those channels — this is what lets a shard
+    // skip the other channels' work without changing a single decode.
+    let full_cfg = ChannelizerConfig::uniform(8, 250e3, 500e3, 1e6, 4);
+    let x = test_signal(&full_cfg, 30_000, 0x511C);
+    let mut full = Channelizer::new(full_cfg.clone());
+    let whole = run_chunked(
+        |c| match c {
+            Some(c) => full.process(c),
+            None => full.flush(),
+        },
+        full_cfg.n_channels(),
+        &x,
+        RAGGED[1],
+    );
+    // A 2-of-8 slice (the bench axis) and the 1-channel slice edge case.
+    for slice in [vec![2usize, 5], vec![7], vec![0]] {
+        let cfg = ChannelizerConfig {
+            offsets_hz: slice.iter().map(|&c| full_cfg.offsets_hz[c]).collect(),
+            ..full_cfg.clone()
+        };
+        for sizes in &RAGGED {
+            let mut ch = Channelizer::new(cfg.clone());
+            let got = run_chunked(
+                |c| match c {
+                    Some(c) => ch.process(c),
+                    None => ch.flush(),
+                },
+                cfg.n_channels(),
+                &x,
+                sizes,
+            );
+            for (k, &c) in slice.iter().enumerate() {
+                assert_eq!(
+                    got[k], whole[c],
+                    "slice {slice:?}: sliced channel {c} diverged from the full plan"
+                );
+            }
+        }
+    }
+}
 
 #[test]
 fn vectorised_matches_scalar_within_1e5_rms() {

@@ -31,16 +31,33 @@
 //! * **Telemetry aggregation** — [`ClusterSnapshot`] carries each
 //!   shard's [`GatewaySnapshot`] plus their [`GatewaySnapshot::merged`]
 //!   aggregate and the merge tier's own counters.
+//! * **Threaded execution** — [`GatewayCluster::new_threaded`] gives
+//!   every shard its own thread behind a bounded *lossless* broadcast
+//!   queue ([`ChunkQueue::push_wait`]): `push` returns once the chunk is
+//!   enqueued everywhere and the shards channelize + decode
+//!   concurrently, so an N-shard cluster's wall clock approaches the
+//!   slowest shard instead of the sum. Each shard thread publishes its
+//!   release horizon only *after* depositing the packets that horizon
+//!   covers into its sink, and the coordinator reads horizons before
+//!   draining sinks — so the global watermark rule above holds verbatim
+//!   and the merged stream is the same exactly-once, time-ordered
+//!   sequence the sequential cluster produces. The dedup retention bound
+//!   is unchanged too: the window is sized by release slack, and the
+//!   global watermark still never overtakes any shard horizon.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use lora_dsp::Cf32;
 
 use crate::dedup::{DedupEntry, DedupWindow};
 use crate::gateway::{ConfigError, Gateway, GatewayConfig};
+use crate::queue::{Chunk, ChunkQueue, Pop};
 use crate::sink::GatewayPacket;
-use crate::stats::{GatewaySnapshot, GatewayStats};
+use crate::stats::{GatewaySnapshot, GatewayStats, WorkerStats};
 
 /// One shard's slice of the cluster's band plan.
 #[derive(Debug, Clone)]
@@ -222,9 +239,92 @@ pub struct ClusterSnapshot {
     pub global_watermark: u64,
 }
 
+/// How long an idle shard thread waits for the next chunk before
+/// refreshing its published horizon (the gateway's own workers keep
+/// advancing their watermarks between cluster pushes).
+const SHARD_IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// One shard of a threaded cluster: its broadcast queue, the sink its
+/// thread deposits releases into, its last published horizon, and the
+/// thread itself (which owns the shard's [`Gateway`]).
+struct ShardRunner {
+    queue: Arc<ChunkQueue>,
+    /// Packets the shard has released, local channel indices, awaiting
+    /// collection by the coordinator's merge.
+    sink: Arc<Mutex<Vec<GatewayPacket>>>,
+    /// The shard's release horizon, published *after* the packets it
+    /// covers reached `sink` — reading it can only under-estimate what
+    /// the sink holds, never overtake it.
+    horizon: Arc<AtomicU64>,
+    /// Wideband samples enqueued to this shard so far (coordinator-side
+    /// position for [`Chunk::start`]).
+    pos: usize,
+    handle: JoinHandle<(Vec<GatewayPacket>, GatewaySnapshot)>,
+}
+
+impl ShardRunner {
+    /// Spawn shard `shard`'s thread, which owns `gw` until the queue
+    /// closes and then finishes it.
+    fn spawn(shard: usize, gw: Gateway, queue_capacity: usize) -> Self {
+        let queue_stats = Arc::new(WorkerStats::new(shard, 0));
+        let queue = Arc::new(ChunkQueue::new(queue_capacity, queue_stats));
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let horizon = Arc::new(AtomicU64::new(0));
+        let (q, s, h) = (queue.clone(), sink.clone(), horizon.clone());
+        let handle = std::thread::Builder::new()
+            .name(format!("cluster-shard-{shard}"))
+            .spawn(move || shard_worker(gw, q, s, h))
+            .expect("failed to spawn cluster shard thread");
+        Self {
+            queue,
+            sink,
+            horizon,
+            pos: 0,
+            handle,
+        }
+    }
+}
+
+/// Body of one shard thread: pop broadcast chunks, push them through the
+/// owned gateway, move fresh releases into the shared sink, publish the
+/// horizon — and finish the gateway when the queue closes.
+fn shard_worker(
+    mut gw: Gateway,
+    queue: Arc<ChunkQueue>,
+    sink: Arc<Mutex<Vec<GatewayPacket>>>,
+    horizon: Arc<AtomicU64>,
+) -> (Vec<GatewayPacket>, GatewaySnapshot) {
+    loop {
+        match queue.pop_timeout(SHARD_IDLE_POLL) {
+            Pop::Chunk(chunk) => gw.push(&chunk.samples),
+            Pop::Idle => {}
+            Pop::Closed => break,
+        }
+        // Horizon before poll: everything the snapshot covers is already
+        // in the gateway's release buffer, so after the copy below the
+        // published horizon really is complete in the sink. (Polling
+        // first could publish a horizon whose packets a concurrent
+        // decode released after the poll.)
+        let h = gw.release_horizon();
+        let packets = gw.poll_packets();
+        if !packets.is_empty() {
+            sink.lock().unwrap().extend(packets);
+        }
+        horizon.store(h, Ordering::Release);
+    }
+    gw.finish()
+}
+
+/// Shard execution strategy: inline on the caller's thread, or one
+/// thread per shard behind lossless broadcast queues.
+enum Backend {
+    Sequential(Vec<Gateway>),
+    Threaded(Vec<ShardRunner>),
+}
+
 /// N sharded gateways behind one merged stream. See the module docs.
 pub struct GatewayCluster {
-    shards: Vec<Gateway>,
+    backend: Backend,
     /// Shard → local channel index → global channel index.
     channel_maps: Vec<Vec<usize>>,
     /// Live telemetry handles, usable while shards run and after finish.
@@ -242,10 +342,25 @@ pub struct GatewayCluster {
 }
 
 impl GatewayCluster {
-    /// Validate the layout and spawn every shard gateway.
+    /// Validate the layout and spawn every shard gateway, pushed inline
+    /// in shard order from the caller's thread.
     pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        Self::build(config, false)
+    }
+
+    /// Validate the layout and spawn every shard gateway on its own
+    /// thread behind a bounded lossless broadcast queue
+    /// ([`ChunkQueue::push_wait`], capacity `base.queue_capacity`
+    /// chunks): [`GatewayCluster::push`] returns once the chunk is
+    /// enqueued everywhere, shards run concurrently, and the merged
+    /// stream is identical to the sequential cluster's.
+    pub fn new_threaded(config: ClusterConfig) -> Result<Self, ClusterError> {
+        Self::build(config, true)
+    }
+
+    fn build(config: ClusterConfig, threaded: bool) -> Result<Self, ClusterError> {
         config.validate()?;
-        let mut shards = Vec::with_capacity(config.shards.len());
+        let mut gateways = Vec::with_capacity(config.shards.len());
         let mut channel_maps = Vec::with_capacity(config.shards.len());
         let mut stats = Vec::with_capacity(config.shards.len());
         let mut max_sf = 0u8;
@@ -256,15 +371,31 @@ impl GatewayCluster {
                 Gateway::new(cfg).map_err(|source| ClusterError::Shard { shard: s, source })?;
             stats.push(gw.stats());
             channel_maps.push(plan.channels.clone());
-            shards.push(gw);
+            gateways.push(gw);
         }
         // A shard's release can trail its own horizon by its release
         // slack (receiver holdback); the cross-shard window must retain
         // accepted packets over the largest such reach.
-        let release_slack = shards.iter().map(Gateway::release_slack).max().unwrap_or(0);
+        let release_slack = gateways
+            .iter()
+            .map(Gateway::release_slack)
+            .max()
+            .unwrap_or(0);
         let chip_wideband = config.base.oversampling * config.base.channelizer.decimation;
+        let backend = if threaded {
+            let capacity = config.base.queue_capacity.max(1);
+            Backend::Threaded(
+                gateways
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, gw)| ShardRunner::spawn(s, gw, capacity))
+                    .collect(),
+            )
+        } else {
+            Backend::Sequential(gateways)
+        };
         Ok(Self {
-            shards,
+            backend,
             channel_maps,
             stats,
             dedup: DedupWindow::new(chip_wideband, max_sf, release_slack),
@@ -278,14 +409,38 @@ impl GatewayCluster {
 
     /// Number of shard gateways.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.channel_maps.len()
+    }
+
+    /// Whether shards run on their own threads
+    /// ([`GatewayCluster::new_threaded`]).
+    pub fn is_threaded(&self) -> bool {
+        matches!(self.backend, Backend::Threaded(_))
     }
 
     /// Broadcast a wideband chunk to every shard (each extracts only its
-    /// own band slice) and advance the merge.
+    /// own band slice) and advance the merge. Sequential clusters push
+    /// each shard inline; threaded clusters enqueue (blocking only when
+    /// a shard's broadcast queue is full — never dropping) and return
+    /// while the shards work.
     pub fn push(&mut self, samples: &[Cf32]) {
-        for gw in &mut self.shards {
-            gw.push(samples);
+        match &mut self.backend {
+            Backend::Sequential(shards) => {
+                for gw in shards.iter_mut() {
+                    gw.push(samples);
+                }
+            }
+            Backend::Threaded(runners) => {
+                // One shared copy of the chunk feeds every shard.
+                let shared = Arc::new(samples.to_vec());
+                for r in runners.iter_mut() {
+                    r.queue.push_wait(Chunk {
+                        start: r.pos,
+                        samples: shared.clone(),
+                    });
+                    r.pos += samples.len();
+                }
+            }
         }
         self.merge();
     }
@@ -294,7 +449,17 @@ impl GatewayCluster {
     /// capture must share the cluster's wideband time base) and advance
     /// the merge.
     pub fn push_shard(&mut self, shard: usize, samples: &[Cf32]) {
-        self.shards[shard].push(samples);
+        match &mut self.backend {
+            Backend::Sequential(shards) => shards[shard].push(samples),
+            Backend::Threaded(runners) => {
+                let r = &mut runners[shard];
+                r.queue.push_wait(Chunk {
+                    start: r.pos,
+                    samples: Arc::new(samples.to_vec()),
+                });
+                r.pos += samples.len();
+            }
+        }
         self.merge();
     }
 
@@ -329,18 +494,41 @@ impl GatewayCluster {
     /// indices), recompute the global watermark, and release everything
     /// it covers.
     fn merge(&mut self) {
-        for (s, gw) in self.shards.iter().enumerate() {
-            for mut p in gw.poll_packets() {
-                p.channel = self.channel_maps[s][p.channel];
-                self.pending.push(p);
+        let horizon = match &self.backend {
+            Backend::Sequential(shards) => {
+                for (s, gw) in shards.iter().enumerate() {
+                    for mut p in gw.poll_packets() {
+                        p.channel = self.channel_maps[s][p.channel];
+                        self.pending.push(p);
+                    }
+                }
+                shards
+                    .iter()
+                    .map(Gateway::release_horizon)
+                    .min()
+                    .unwrap_or(u64::MAX)
             }
-        }
-        let horizon = self
-            .shards
-            .iter()
-            .map(Gateway::release_horizon)
-            .min()
-            .unwrap_or(u64::MAX);
+            Backend::Threaded(runners) => {
+                // Horizons *before* sinks: a shard publishes its horizon
+                // only after depositing the packets it covers, so a
+                // horizon read first can only lag the sink — the
+                // watermark computed from it is always complete in
+                // `pending`.
+                let horizon = runners
+                    .iter()
+                    .map(|r| r.horizon.load(Ordering::Acquire))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                for (s, r) in runners.iter().enumerate() {
+                    let mut sink = r.sink.lock().unwrap();
+                    for mut p in sink.drain(..) {
+                        p.channel = self.channel_maps[s][p.channel];
+                        self.pending.push(p);
+                    }
+                }
+                horizon
+            }
+        };
         // Monotone: each shard horizon only moves forward.
         self.global_watermark = self.global_watermark.max(horizon);
         self.release_due();
@@ -396,14 +584,35 @@ impl GatewayCluster {
     /// open, and return the remaining merged packets plus the final
     /// cluster snapshot.
     pub fn finish(mut self) -> (Vec<GatewayPacket>, ClusterSnapshot) {
-        let mut snaps = Vec::with_capacity(self.shards.len());
-        for (s, gw) in std::mem::take(&mut self.shards).into_iter().enumerate() {
-            let (packets, snap) = gw.finish();
-            for mut p in packets {
-                p.channel = self.channel_maps[s][p.channel];
-                self.pending.push(p);
+        let mut snaps = Vec::with_capacity(self.channel_maps.len());
+        match std::mem::replace(&mut self.backend, Backend::Sequential(Vec::new())) {
+            Backend::Sequential(shards) => {
+                for (s, gw) in shards.into_iter().enumerate() {
+                    let (packets, snap) = gw.finish();
+                    for mut p in packets {
+                        p.channel = self.channel_maps[s][p.channel];
+                        self.pending.push(p);
+                    }
+                    snaps.push(snap);
+                }
             }
-            snaps.push(snap);
+            Backend::Threaded(runners) => {
+                // Close every queue first so the shards drain their
+                // backlogs and finish concurrently, then join in shard
+                // order.
+                for r in &runners {
+                    r.queue.close();
+                }
+                for (s, r) in runners.into_iter().enumerate() {
+                    let (packets, snap) = r.handle.join().expect("cluster shard thread panicked");
+                    let drained: Vec<GatewayPacket> = std::mem::take(&mut *r.sink.lock().unwrap());
+                    for mut p in drained.into_iter().chain(packets) {
+                        p.channel = self.channel_maps[s][p.channel];
+                        self.pending.push(p);
+                    }
+                    snaps.push(snap);
+                }
+            }
         }
         self.global_watermark = u64::MAX;
         self.release_due();
@@ -539,6 +748,7 @@ mod tests {
     fn silence_counts_samples_on_every_shard() {
         let mut cluster =
             GatewayCluster::new(ClusterConfig::channel_sharded(base(), 2)).expect("valid layout");
+        assert!(!cluster.is_threaded());
         for _ in 0..4 {
             cluster.push(&vec![Cf32::new(0.0, 0.0); 4096]);
         }
@@ -552,5 +762,34 @@ mod tests {
         }
         assert_eq!(snap.merged.samples_in, 2 * 4 * 4096);
         assert_eq!(snap.packets_merged, 0);
+    }
+
+    #[test]
+    fn threaded_empty_cluster_finishes_cleanly() {
+        let cluster = GatewayCluster::new_threaded(ClusterConfig::channel_sharded(base(), 2))
+            .expect("valid layout");
+        assert!(cluster.is_threaded());
+        assert_eq!(cluster.n_shards(), 2);
+        let (packets, snap) = cluster.finish();
+        assert!(packets.is_empty());
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.global_watermark, u64::MAX);
+    }
+
+    #[test]
+    fn threaded_broadcast_reaches_every_shard_losslessly() {
+        let mut cluster = GatewayCluster::new_threaded(ClusterConfig::channel_sharded(base(), 2))
+            .expect("valid layout");
+        for _ in 0..4 {
+            cluster.push(&vec![Cf32::new(0.0, 0.0); 4096]);
+        }
+        let (packets, snap) = cluster.finish();
+        assert!(packets.is_empty());
+        // The lossless broadcast queue must deliver the full stream to
+        // every shard regardless of thread scheduling.
+        for s in &snap.shards {
+            assert_eq!(s.samples_in, 4 * 4096);
+        }
+        assert_eq!(snap.merged.samples_in, 2 * 4 * 4096);
     }
 }

@@ -431,7 +431,11 @@ fn policy_loop(
             .iter()
             .map(|w| w.queue_depth.load(Ordering::Relaxed))
             .collect();
-        for action in ctl.tick(&depths, queue_capacity) {
+        let decode_ewmas: Vec<u64> = wstats
+            .iter()
+            .map(|w| w.decode_ewma_ns.load(Ordering::Relaxed))
+            .collect();
+        for action in ctl.tick_with_decode(&depths, &decode_ewmas, queue_capacity) {
             match action {
                 ControlAction::SetRung {
                     worker,

@@ -86,6 +86,15 @@ pub struct OverloadConfig {
     /// SIC residual stage. The gateway enables this automatically when
     /// its base CIC config has `sic.depth > 0`.
     pub sic_boost: bool,
+    /// Decode-latency EWMA at which a worker saturates the hot signal:
+    /// the per-tick load sample is
+    /// `max(queue occupancy, decode_ewma / hot_decode)` (latency term
+    /// clamped to 1), so a worker whose decodes have grown this slow
+    /// counts fully hot even while its queue still looks shallow —
+    /// latency is the *leading* overload indicator, depth the lagging
+    /// one. Generous by default so the term only engages on decodes that
+    /// are pathologically slow relative to the control tick.
+    pub hot_decode: Duration,
 }
 
 impl Default for OverloadConfig {
@@ -101,6 +110,7 @@ impl Default for OverloadConfig {
             min_active_sfs: 1,
             idle_timeout: Duration::from_millis(500),
             sic_boost: false,
+            hot_decode: Duration::from_secs(1),
         }
     }
 }
@@ -142,7 +152,18 @@ impl LoadMonitor {
     /// Fold one depth sample (chunks, against `capacity`) into worker
     /// `idx`'s occupancy EWMA and update its streaks.
     pub fn observe(&mut self, idx: usize, depth: u64, capacity: usize) {
-        let occ = (depth as f64 / capacity.max(1) as f64).min(1.0);
+        self.observe_signal(idx, depth, capacity, 0.0);
+    }
+
+    /// Fold one load sample combining queue occupancy with an auxiliary
+    /// pressure term in [0, 1] (the controller feeds the decode-latency
+    /// ratio here): the worker's per-tick sample is the *max* of the
+    /// two, so either a deep queue or slow decodes can make it hot, and
+    /// recovery requires both to subside.
+    pub fn observe_signal(&mut self, idx: usize, depth: u64, capacity: usize, pressure: f64) {
+        let occ = (depth as f64 / capacity.max(1) as f64)
+            .max(pressure.clamp(0.0, 1.0))
+            .min(1.0);
         let o = &mut self.occupancy[idx];
         *o += self.alpha * (occ - *o);
         if *o >= self.high {
@@ -276,10 +297,32 @@ impl OverloadController {
     /// every transition zeroes the affected workers' streaks so the next
     /// move needs a fresh sustained signal.
     pub fn tick(&mut self, depths: &[u64], capacity: usize) -> Vec<ControlAction> {
+        self.tick_with_decode(depths, &[], capacity)
+    }
+
+    /// [`Self::tick`] with the per-worker decode-latency EWMAs (ns)
+    /// folded into the hot signal: each worker's load sample is
+    /// `max(occupancy, decode_ewma / hot_decode)`, so a worker drowning
+    /// in slow decodes escalates even while its queue reads shallow, and
+    /// a deep-but-fast worker is judged exactly as before — its queue
+    /// occupancy already tells the whole story. Pass an empty slice (or
+    /// zeros) to fall back to occupancy only.
+    pub fn tick_with_decode(
+        &mut self,
+        depths: &[u64],
+        decode_ewma_ns: &[u64],
+        capacity: usize,
+    ) -> Vec<ControlAction> {
         assert_eq!(depths.len(), self.sfs.len(), "one depth per worker");
+        assert!(
+            decode_ewma_ns.is_empty() || decode_ewma_ns.len() == self.sfs.len(),
+            "one decode EWMA per worker (or none)"
+        );
+        let hot_ns = self.cfg.hot_decode.as_nanos().max(1) as f64;
         for (w, &depth) in depths.iter().enumerate() {
             if self.rungs[w] != SHED_RUNG {
-                self.monitor.observe(w, depth, capacity);
+                let pressure = decode_ewma_ns.get(w).map_or(0.0, |&ns| ns as f64 / hot_ns);
+                self.monitor.observe_signal(w, depth, capacity, pressure);
             }
         }
         let mut actions = Vec::new();
@@ -614,6 +657,64 @@ mod tests {
                 degrade: true
             }]
         );
+    }
+
+    #[test]
+    fn shallow_but_slow_worker_trips_with_the_deep_but_fast_one() {
+        let mut c = OverloadController::new(
+            OverloadConfig {
+                hot_decode: Duration::from_millis(100),
+                ..cfg()
+            },
+            &sfs(),
+        );
+        // Worker 0: queue empty, decode EWMA 3× the hot-decode bound.
+        // Worker 1: queue full, decodes fast. Workers 2/3: healthy.
+        let depths = [0u64, 8, 0, 0];
+        let ewmas = [300_000_000u64, 1_000_000, 0, 0];
+        let mut a = Vec::new();
+        for _ in 0..2 {
+            a.extend(c.tick_with_decode(&depths, &ewmas, 8));
+        }
+        // The occupancy-blind ladder would have escalated only worker 1
+        // here, letting the latency-bound worker drown with an empty
+        // queue. With the decode term both trip on the same tick —
+        // deep-but-fast no longer degrades ahead of shallow-but-slow.
+        let mut hit: Vec<usize> = a
+            .iter()
+            .map(|x| match x {
+                ControlAction::SetRung {
+                    worker,
+                    rung: 1,
+                    degrade: true,
+                } => *worker,
+                other => panic!("expected a rung-1 degrade, got {other:?}"),
+            })
+            .collect();
+        hit.sort_unstable();
+        assert_eq!(hit, vec![0, 1]);
+        assert_eq!(c.rung(2), 0);
+        assert_eq!(c.rung(3), 0);
+        // Recovery stays blocked while decodes remain slow, even with
+        // every queue empty: the latency term holds the cool streak off.
+        let a = (0..50)
+            .flat_map(|_| c.tick_with_decode(&[0, 0, 0, 0], &ewmas, 8))
+            .collect::<Vec<_>>();
+        assert!(
+            a.iter().all(|x| matches!(
+                x,
+                ControlAction::SetRung { degrade: true, .. } | ControlAction::Shed { .. }
+            )),
+            "no recovery while decode latency is pinned high: {a:?}"
+        );
+        // Once the decode EWMA subsides, the ladder walks back up.
+        let a = (0..60)
+            .flat_map(|_| c.tick_with_decode(&[0, 0, 0, 0], &[0, 0, 0, 0], 8))
+            .collect::<Vec<_>>();
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, ControlAction::SetRung { degrade: false, .. })));
+        assert!((0..4).all(|w| c.rung(w) == 0));
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub struct ChunkQueue {
     capacity: usize,
     inner: Mutex<Inner>,
     ready: Condvar,
+    /// Signalled when a pop (or close) frees room, for [`ChunkQueue::push_wait`].
+    space: Condvar,
     stats: Arc<WorkerStats>,
 }
 
@@ -63,6 +65,7 @@ impl ChunkQueue {
                 closed: false,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
             stats,
         }
     }
@@ -102,6 +105,42 @@ impl ChunkQueue {
         dropped
     }
 
+    /// Enqueue a chunk, blocking while the queue is full and open — the
+    /// *lossless* variant. A gateway's own worker queues must never
+    /// block the front end (drop-oldest, [`ChunkQueue::push`]), but the
+    /// cluster's broadcast stage is different: every shard must see the
+    /// exact same sample stream or the merged decode set stops being
+    /// deterministic, so a slow shard exerts backpressure instead of
+    /// losing samples. Returns `true` if the chunk was enqueued; pushing
+    /// to a closed queue discards the chunk, counts it (shutdown-window
+    /// losses must show up in telemetry) and returns `false`.
+    pub fn push_wait(&self, chunk: Chunk) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                self.stats
+                    .samples_dropped
+                    .fetch_add(chunk.samples.len() as u64, Ordering::Relaxed);
+                self.stats.chunks_dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if inner.queue.len() < self.capacity {
+                break;
+            }
+            inner = self.space.wait(inner).unwrap();
+        }
+        inner.queue.push_back(chunk);
+        self.stats
+            .queue_depth_hwm
+            .fetch_max(inner.queue.len() as u64, Ordering::Relaxed);
+        self.stats
+            .queue_depth
+            .store(inner.queue.len() as u64, Ordering::Relaxed);
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
     /// Dequeue the next chunk, blocking while the queue is empty and
     /// open. Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<Chunk> {
@@ -126,6 +165,7 @@ impl ChunkQueue {
                 self.stats
                     .queue_depth
                     .store(inner.queue.len() as u64, Ordering::Relaxed);
+                self.space.notify_one();
                 return Pop::Chunk(chunk);
             }
             if inner.closed {
@@ -144,6 +184,7 @@ impl ChunkQueue {
     pub fn close(&self) {
         self.inner.lock().unwrap().closed = true;
         self.ready.notify_all();
+        self.space.notify_all();
     }
 
     /// Current queue depth, in chunks.
@@ -257,6 +298,53 @@ mod tests {
         assert_eq!(depth(), 1);
         q.pop();
         assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn push_wait_blocks_for_space_instead_of_dropping() {
+        let (q, stats) = queue(2);
+        let q = Arc::new(q);
+        assert!(q.push_wait(chunk(0, 4)));
+        assert!(q.push_wait(chunk(4, 4)));
+        // Queue full: the third push must wait for the consumer, not
+        // evict chunk 0.
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || qp.push_wait(chunk(8, 4)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "producer should still be parked");
+        assert_eq!(q.pop().unwrap().start, 0);
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop().unwrap().start, 4);
+        assert_eq!(q.pop().unwrap().start, 8);
+        assert_eq!(stats.chunks_dropped.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.samples_dropped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn push_wait_on_closed_queue_counts_the_loss() {
+        let (q, stats) = queue(2);
+        assert!(q.push_wait(chunk(0, 4)));
+        q.close();
+        assert!(!q.push_wait(chunk(4, 6)));
+        assert_eq!(stats.chunks_dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.samples_dropped.load(Ordering::Relaxed), 6);
+        assert_eq!(q.pop().unwrap().start, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn close_unparks_a_blocked_push_wait() {
+        let (q, _) = queue(1);
+        let q = Arc::new(q);
+        assert!(q.push_wait(chunk(0, 1)));
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || qp.push_wait(chunk(1, 1)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(
+            !producer.join().unwrap(),
+            "close must reject the parked push"
+        );
     }
 
     #[test]

@@ -775,11 +775,13 @@ mod tests {
             passes: 4,
             recovered: 2,
             abandoned: 1,
+            ..Default::default()
         });
         stats.worker(1).store_sic_report(&cic::SicReport {
             passes: 1,
             recovered: 1,
             abandoned: 0,
+            ..Default::default()
         });
         stats.record_rung_engagement(SIC_RUNG);
         stats.record_rung_engagement(SIC_RUNG);

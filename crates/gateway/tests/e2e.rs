@@ -600,6 +600,7 @@ fn adaptive_policy_beats_drop_oldest_under_overload() {
         min_active_sfs: 1,
         idle_timeout: Duration::from_secs(600),
         sic_boost: false,
+        hot_decode: Duration::from_secs(1),
     };
 
     let (ok_adaptive, snap_adaptive) = run_overloaded(&plan, &samples, adaptive, pace);

@@ -46,6 +46,12 @@ pub struct CapacitySpec {
     /// the global merge watermark (broadcast routing — each shard
     /// digitises the whole wideband stream and extracts its slice).
     pub shards: usize,
+    /// Execution mode of a sharded run: `true` gives each shard its own
+    /// thread behind the lossless broadcast queue
+    /// ([`GatewayCluster::new_threaded`]); `false` pushes shards inline.
+    /// Ignored when `shards == 1`. The merged decode set is identical
+    /// either way — only the wall clock changes.
+    pub threaded: bool,
 }
 
 /// What one operating point produced.
@@ -76,6 +82,11 @@ pub struct CapacityOutcome {
     /// per-shard snapshots plus cross-gateway dedup and global-watermark
     /// counters. `None` for the single wide gateway.
     pub cluster: Option<ClusterSnapshot>,
+    /// Per-shard channelizer throughput, Msamples/s of wideband input
+    /// per second of channelize time (empty for a single wide gateway).
+    /// This is the front-end rate the slice-scoped polyphase channelizer
+    /// buys: each shard filters only its own channels.
+    pub shard_msamples_s: Vec<f64>,
 }
 
 /// The channelizer layout matching a [`BandPlan`] (spacing derived from
@@ -123,10 +134,12 @@ pub fn run_point(spec: &CapacitySpec) -> CapacityOutcome {
     let mut delivered_ok = 0u64;
     let mut samples = 0usize;
     let (snapshot, cluster) = if spec.shards > 1 {
-        let mut cl = GatewayCluster::new(ClusterConfig::channel_sharded(
-            gateway_config(spec),
-            spec.shards,
-        ))
+        let config = ClusterConfig::channel_sharded(gateway_config(spec), spec.shards);
+        let mut cl = if spec.threaded {
+            GatewayCluster::new_threaded(config)
+        } else {
+            GatewayCluster::new(config)
+        }
         .expect("capacity spec derives a valid cluster config");
         while let Some(chunk) = scenario.next_chunk(spec.chunk) {
             samples += chunk.len();
@@ -162,6 +175,23 @@ pub fn run_point(spec: &CapacitySpec) -> CapacityOutcome {
 
     let offered = scenario.emitted();
     let air_s = samples as f64 / spec.plan.wideband_rate_hz();
+    // Wideband samples through each shard's channelizer per second of
+    // channelize time (ns totals → Msamples/s is a factor of 1e3).
+    let shard_msamples_s = cluster
+        .as_ref()
+        .map(|cl| {
+            cl.shards
+                .iter()
+                .map(|s| {
+                    if s.channelize.total_ns == 0 {
+                        0.0
+                    } else {
+                        s.samples_in as f64 * 1e3 / s.channelize.total_ns as f64
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     CapacityOutcome {
         offered,
         delivered_ok,
@@ -174,6 +204,7 @@ pub fn run_point(spec: &CapacitySpec) -> CapacityOutcome {
         generator_peak_bytes: scenario.peak_resident_bytes(),
         snapshot,
         cluster,
+        shard_msamples_s,
     }
 }
 
@@ -214,6 +245,7 @@ mod tests {
             queue_capacity: 64,
             policy: OverloadPolicy::DropOldest,
             shards: 1,
+            threaded: false,
         }
     }
 
@@ -262,6 +294,17 @@ mod tests {
         assert_eq!(sharded.samples, single.samples);
         assert_eq!(sharded.snapshot.samples_in, 2 * sharded.samples as u64);
         assert!(single.cluster.is_none());
+        assert!(single.shard_msamples_s.is_empty());
+        // Per-shard front-end throughput is recorded for every shard.
+        assert_eq!(sharded.shard_msamples_s.len(), 2);
+        assert!(sharded.shard_msamples_s.iter().all(|&r| r > 0.0));
+
+        // Threaded execution changes the wall clock, never the decode.
+        spec.threaded = true;
+        let threaded = run_point(&spec);
+        assert_eq!(threaded.delivered_ok, sharded.delivered_ok);
+        assert_eq!(threaded.samples, sharded.samples);
+        assert_eq!(threaded.shard_msamples_s.len(), 2);
     }
 
     #[test]

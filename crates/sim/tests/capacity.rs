@@ -94,6 +94,7 @@ fn gateway_decode_set_equal_streamed_vs_batch() {
         queue_capacity: 256, // ample: no overload interference
         policy: OverloadPolicy::DropOldest,
         shards: 1,
+        threaded: false,
     };
 
     let decode_set = |samples: &[lora_dsp::Cf32]| -> Vec<(usize, u8, Vec<u8>)> {
@@ -152,6 +153,7 @@ fn run_point_generator_memory_flat_in_node_count() {
             queue_capacity: 64,
             policy: OverloadPolicy::DropOldest,
             shards: 1,
+            threaded: false,
         })
     };
 
